@@ -1,0 +1,25 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples clean doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	@for e in quickstart social_network photo_mashup federation_sync \
+	          recommendation code_search provider_ops collaboration \
+	          difc_tutorial embedding; do \
+	  echo "== examples/$$e =="; \
+	  dune exec examples/$$e.exe || exit 1; \
+	done
+
+clean:
+	dune clean

@@ -1,0 +1,775 @@
+(* The W5 benchmark harness.
+
+   The paper (HotNets 2007) is a position paper: its only "figures"
+   are the two architecture diagrams and it reports no measurements.
+   This suite therefore regenerates, for every experiment row in
+   DESIGN.md §4, the *characterization* a systems reader would demand
+   of the prototype the paper defers to future work:
+
+   - fig1-baseline / fig2-w5 : the same user action on the silo model
+     and on the W5 meta-application (F1/F2);
+   - e2e-request             : full HTTP requests with enforcement on
+     vs off — the DIFC overhead (P1; Flume reports 30-45% on Apache
+     workloads as the shape reference);
+   - label-ops               : the inner-loop lattice operations at
+     several label sizes, plus the sorted-array ablation (DESIGN §5);
+   - export-check / declassifier : perimeter and gate costs (E1/E2);
+   - query-taint             : the covert-channel-safe query engine vs
+     the leaky baseline at several collection sizes (E8);
+   - pagerank                : code-search ranking cost and
+     convergence (E5);
+   - federation-sync         : steady-state and one-update sync (E6);
+   - syscall                 : raw kernel-crossing costs under quota
+     accounting (E7);
+   - client-filter           : the perimeter JavaScript filter (E9).
+
+   Run with:  dune exec bench/main.exe
+*)
+
+open Bechamel
+open Toolkit
+open W5_difc
+open W5_http
+open W5_platform
+
+let staged = Staged.stage
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let society ~enforcing =
+  W5_workload.Populate.build ~seed:17 ~enforcing ~users:10 ~friends_per_user:3
+    ~photos_per_user:2 ~blog_posts_per_user:1 ()
+
+let on_society = society ~enforcing:true
+let off_society = society ~enforcing:false
+
+let logged_in (s : W5_workload.Populate.society) user =
+  W5_workload.Populate.login s user
+
+(* clients used repeatedly inside benches *)
+let on_u0 = logged_in on_society (List.hd on_society.W5_workload.Populate.users)
+let off_u0 = logged_in off_society (List.hd off_society.W5_workload.Populate.users)
+let on_u0_name = List.hd on_society.W5_workload.Populate.users
+let on_u1_name = List.nth on_society.W5_workload.Populate.users 1
+
+(* a viewer who is guaranteed to be u1's friend, and one who is not *)
+let friend_of_u1, non_friend_of_u1 =
+  let platform = on_society.W5_workload.Populate.platform in
+  let account = Platform.account_exn platform on_u1_name in
+  match Platform.read_user_record platform account ~file:"friends" with
+  | Ok r -> (
+      let friends = W5_store.Record.get_list r "friends" in
+      let everyone = on_society.W5_workload.Populate.users in
+      let non_friend =
+        List.find
+          (fun u -> u <> on_u1_name && not (List.mem u friends))
+          (everyone @ [ "nobody" ])
+      in
+      match friends with
+      | f :: _ -> (f, non_friend)
+      | [] -> (on_u0_name, non_friend))
+  | Error _ -> (on_u0_name, on_u0_name)
+
+let friend_client = logged_in on_society friend_of_u1
+
+let stranger_client =
+  if non_friend_of_u1 = "nobody" then friend_client
+  else logged_in on_society non_friend_of_u1
+
+(* ------------------------------------------------------------------ *)
+(* fig1-baseline: the silo model                                       *)
+(* ------------------------------------------------------------------ *)
+
+let silo =
+  let open W5_apps.Silo_baseline in
+  let site = create_site "silo" in
+  List.iter
+    (fun i ->
+      set_data site ~user:"amy"
+        ~key:(Printf.sprintf "k%02d" i)
+        ~value:(String.make 32 'v'))
+    (List.init 10 Fun.id);
+  site
+
+let bench_fig1 =
+  let open W5_apps.Silo_baseline in
+  Test.make_grouped ~name:"fig1-baseline"
+    [
+      Test.make ~name:"get" (staged (fun () -> get_data silo ~user:"amy" ~key:"k00"));
+      Test.make ~name:"thief-export"
+        (staged (fun () -> thief_export silo ~user:"amy"));
+      Test.make ~name:"migrate-10-items"
+        (staged (fun () ->
+             let target = create_site "target" in
+             migrate ~from_site:silo ~to_site:target ~user:"amy"));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* fig2-w5 + e2e-request: full requests through the gateway            *)
+(* ------------------------------------------------------------------ *)
+
+let bench_e2e =
+  Test.make_grouped ~name:"e2e-request"
+    [
+      Test.make ~name:"own-profile-enforcing"
+        (staged (fun () ->
+             Client.get on_u0 "/app/core/social" ~params:[ ("user", on_u0_name) ]));
+      Test.make ~name:"own-profile-no-enforcement"
+        (staged (fun () ->
+             Client.get off_u0 "/app/core/social"
+               ~params:
+                 [ ("user", List.hd off_society.W5_workload.Populate.users) ]));
+      Test.make ~name:"friend-view-via-declassifier"
+        (staged (fun () ->
+             Client.get friend_client "/app/core/social"
+               ~params:[ ("user", on_u1_name) ]));
+      Test.make ~name:"denied-view-403"
+        (staged (fun () ->
+             Client.get stranger_client "/app/core/social"
+               ~params:[ ("user", on_u1_name) ]));
+      Test.make ~name:"photo-list"
+        (staged (fun () ->
+             Client.get on_u0 "/app/core/photos"
+               ~params:[ ("action", "list"); ("user", on_u0_name) ]));
+      Test.make ~name:"photo-upload-write-path"
+        (staged
+           (let upload_counter = ref 0 in
+            fun () ->
+              incr upload_counter;
+              Client.post on_u0 "/app/core/photos"
+                ~form:
+                  [
+                    ("action", "upload");
+                    ("id", Printf.sprintf "bench-%03d" (!upload_counter mod 256));
+                    ("data", "0123456789abcdef");
+                  ]));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* label-ops (+ the sorted-array representation ablation)              *)
+(* ------------------------------------------------------------------ *)
+
+(* The alternative representation from DESIGN.md §5: plain sorted int
+   arrays. Implemented here, in the bench, so the library keeps exactly
+   one canonical representation. *)
+module Label_array = struct
+  let of_label l = Array.of_list (List.map Tag.id (Label.to_list l))
+
+  let union a b =
+    let out = Array.make (Array.length a + Array.length b) 0 in
+    let rec go i j k =
+      if i = Array.length a then begin
+        Array.blit b j out k (Array.length b - j);
+        k + Array.length b - j
+      end
+      else if j = Array.length b then begin
+        Array.blit a i out k (Array.length a - i);
+        k + Array.length a - i
+      end
+      else if a.(i) < b.(j) then begin
+        out.(k) <- a.(i);
+        go (i + 1) j (k + 1)
+      end
+      else if a.(i) > b.(j) then begin
+        out.(k) <- b.(j);
+        go i (j + 1) (k + 1)
+      end
+      else begin
+        out.(k) <- a.(i);
+        go (i + 1) (j + 1) (k + 1)
+      end
+    in
+    let n = go 0 0 0 in
+    Array.sub out 0 n
+
+  let subset a b =
+    let rec go i j =
+      if i = Array.length a then true
+      else if j = Array.length b then false
+      else if a.(i) = b.(j) then go (i + 1) (j + 1)
+      else if a.(i) > b.(j) then go i (j + 1)
+      else false
+    in
+    go 0 0
+end
+
+let label_sizes = [ 1; 8; 64 ]
+
+let labels_of_size n =
+  Label.of_list
+    (List.init n (fun i ->
+         Tag.fresh ~name:(Printf.sprintf "bench%d-%d" n i) Tag.Secrecy))
+
+let label_pairs =
+  List.map
+    (fun n ->
+      let a = labels_of_size n and b = labels_of_size n in
+      (n, a, b, Label.union a b))
+    label_sizes
+
+let bench_label_ops =
+  Test.make_grouped ~name:"label-ops"
+    (List.concat_map
+       (fun (n, a, b, ab) ->
+         let arr_a = Label_array.of_label a
+         and arr_b = Label_array.of_label b
+         and arr_ab = Label_array.of_label ab in
+         [
+           Test.make ~name:(Printf.sprintf "set-union-%d" n)
+             (staged (fun () -> Label.union a b));
+           Test.make ~name:(Printf.sprintf "set-subset-%d" n)
+             (staged (fun () -> Label.subset a ab));
+           Test.make ~name:(Printf.sprintf "array-union-%d" n)
+             (staged (fun () -> Label_array.union arr_a arr_b));
+           Test.make ~name:(Printf.sprintf "array-subset-%d" n)
+             (staged (fun () -> Label_array.subset arr_a arr_ab));
+           Test.make
+             ~name:(Printf.sprintf "can-flow-%d" n)
+             (staged
+                (let src = Flow.make ~secrecy:a () in
+                 let dst = Flow.make ~secrecy:ab () in
+                 fun () -> Flow.can_flow src dst));
+         ])
+       label_pairs)
+
+(* ------------------------------------------------------------------ *)
+(* export-check + declassifier                                         *)
+(* ------------------------------------------------------------------ *)
+
+let perimeter_platform = on_society.W5_workload.Populate.platform
+let perimeter_owner = Platform.account_exn perimeter_platform on_u1_name
+let perimeter_friend = Platform.account_exn perimeter_platform friend_of_u1
+
+let perimeter_labels =
+  Flow.make ~secrecy:(Label.singleton perimeter_owner.Account.secret_tag) ()
+
+let bench_perimeter =
+  Test.make_grouped ~name:"export-check"
+    [
+      Test.make ~name:"owner-allow"
+        (staged (fun () ->
+             Perimeter.export perimeter_platform ~viewer:(Some perimeter_owner)
+               ~data:"payload" ~labels:perimeter_labels));
+      Test.make ~name:"friend-via-declassifier"
+        (staged (fun () ->
+             Perimeter.export perimeter_platform ~viewer:(Some perimeter_friend)
+               ~data:"payload" ~labels:perimeter_labels));
+      Test.make ~name:"public-payload"
+        (staged (fun () ->
+             Perimeter.export perimeter_platform ~viewer:None ~data:"payload"
+               ~labels:Flow.bottom));
+    ]
+
+let bench_declassifier =
+  (* ablation: running the decision logic inline vs through a kernel
+     gate (fresh process, capability transfer, response labels) *)
+  let inline () =
+    Platform.with_ctx perimeter_platform ~name:"inline-declass"
+      ~labels:perimeter_labels ~caps:perimeter_owner.Account.caps (fun ctx ->
+        Ok
+          (Declassifier.friends_only ctx ~owner:on_u1_name
+             ~viewer:(Some friend_of_u1) ~data:"payload"))
+  in
+  let gate_name = Declassifier.gate_name ~owner:on_u1_name ~name:"friends" in
+  let via_gate () =
+    Platform.with_ctx perimeter_platform ~name:"gate-declass"
+      ~labels:perimeter_labels (fun ctx ->
+        W5_os.Syscall.invoke_gate ctx gate_name
+          ~arg:
+            (Declassifier.encode_arg ~viewer:(Some friend_of_u1)
+               ~data:"payload"))
+  in
+  Test.make_grouped ~name:"declassifier"
+    [
+      Test.make ~name:"logic-inline" (staged inline);
+      Test.make ~name:"logic-via-gate" (staged via_gate);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* query-taint (E8)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let query_kernel = W5_os.Kernel.create ()
+let query_sizes = [ 10; 100; 1000 ]
+
+let spawn_on kernel name =
+  match
+    W5_os.Kernel.spawn kernel ~name
+      ~owner:(W5_os.Kernel.kernel_principal kernel)
+      ~labels:Flow.bottom ~caps:Capability.Set.empty
+      ~limits:W5_os.Resource.unlimited (fun _ -> ())
+  with
+  | Ok proc -> { W5_os.Kernel.kernel; proc }
+  | Error _ -> assert false
+
+let () =
+  (* seed one collection per size, with a tenth of the rows secret *)
+  let seed = spawn_on query_kernel "seed" in
+  (match W5_store.Obj_store.init seed with Ok () -> () | Error _ -> assert false);
+  List.iter
+    (fun n ->
+      let collection = Printf.sprintf "c%d" n in
+      (match
+         W5_store.Obj_store.create_collection seed collection ~labels:Flow.bottom
+       with
+      | Ok () -> ()
+      | Error _ -> assert false);
+      List.iter
+        (fun i ->
+          let labels =
+            if i mod 10 = 0 then
+              Flow.make
+                ~secrecy:
+                  (Label.singleton
+                     (Tag.fresh
+                        ~name:(Printf.sprintf "row%d-%d" n i)
+                        Tag.Secrecy))
+                ()
+            else Flow.bottom
+          in
+          match
+            W5_store.Obj_store.put seed ~collection
+              ~id:(Printf.sprintf "r%04d" i)
+              ~labels
+              (W5_store.Record.of_fields
+                 [ ("from", (if i mod 3 = 0 then "bob" else "carol")) ])
+          with
+          | Ok () -> ()
+          | Error _ -> assert false)
+        (List.init n Fun.id))
+    query_sizes
+
+let bench_query =
+  Test.make_grouped ~name:"query-taint"
+    (List.concat_map
+       (fun n ->
+         let collection = Printf.sprintf "c%d" n in
+         let where = W5_store.Query.field_equals "from" "bob" in
+         [
+           Test.make
+             ~name:(Printf.sprintf "safe-select-%d" n)
+             (staged (fun () ->
+                  W5_store.Query.select (spawn_on query_kernel "q") ~collection
+                    ~where));
+           Test.make
+             ~name:(Printf.sprintf "leaky-select-%d" n)
+             (staged (fun () ->
+                  W5_store.Query.select_leaky (spawn_on query_kernel "q")
+                    ~collection ~where));
+         ])
+       query_sizes)
+
+(* ------------------------------------------------------------------ *)
+(* pagerank (E5)                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let graph_of_size n =
+  let rng = W5_workload.Rng.create ~seed:(n + 1) in
+  let g = W5_rank.Depgraph.create () in
+  List.iter
+    (fun i ->
+      let node = Printf.sprintf "m%d" i in
+      W5_rank.Depgraph.add_node g node;
+      if i > 0 then
+        List.iter
+          (fun _ ->
+            let j = W5_workload.Rng.int rng i in
+            let j = min j (W5_workload.Rng.int rng i) in
+            W5_rank.Depgraph.add_edge g ~src:node ~dst:(Printf.sprintf "m%d" j))
+          (List.init (min 3 i) Fun.id))
+    (List.init n Fun.id);
+  g
+
+let graph_100 = graph_of_size 100
+let graph_1000 = graph_of_size 1000
+
+let bench_pagerank =
+  Test.make_grouped ~name:"pagerank"
+    [
+      Test.make ~name:"compute-100"
+        (staged (fun () -> W5_rank.Pagerank.compute graph_100));
+      Test.make ~name:"compute-1000"
+        (staged (fun () -> W5_rank.Pagerank.compute graph_1000));
+      Test.make ~name:"score-registry"
+        (staged (fun () ->
+             W5_rank.Code_search.score_all
+               (Platform.registry on_society.W5_workload.Populate.platform)));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* federation-sync (E6)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sync_link, sync_side_a =
+  let a =
+    { W5_federation.Sync.platform = Platform.create (); provider_name = "pa" }
+  in
+  let b =
+    { W5_federation.Sync.platform = Platform.create (); provider_name = "pb" }
+  in
+  (match
+     Platform.signup a.W5_federation.Sync.platform ~user:"zoe" ~password:"pw"
+   with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  (match
+     Platform.signup b.W5_federation.Sync.platform ~user:"zoe" ~password:"pw"
+   with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  match
+    W5_federation.Sync.establish ~a ~b ~user:"zoe"
+      ~files:[ "profile"; "friends" ] ()
+  with
+  | Ok link ->
+      ignore (W5_federation.Sync.sync link);
+      (link, a)
+  | Error e -> failwith e
+
+let sync_counter = ref 0
+
+let bench_federation =
+  Test.make_grouped ~name:"federation-sync"
+    [
+      Test.make ~name:"steady-state-round"
+        (staged (fun () -> W5_federation.Sync.sync sync_link));
+      Test.make ~name:"one-update-round"
+        (staged (fun () ->
+             incr sync_counter;
+             let account =
+               Platform.account_exn sync_side_a.W5_federation.Sync.platform
+                 "zoe"
+             in
+             ignore
+               (Platform.write_user_record
+                  sync_side_a.W5_federation.Sync.platform account
+                  ~file:"profile"
+                  (W5_store.Record.of_fields
+                     [ ("user", "zoe"); ("rev", string_of_int !sync_counter) ]));
+             W5_federation.Sync.sync sync_link));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* portability: whole-account export (E19)                             *)
+(* ------------------------------------------------------------------ *)
+
+let takeout_account =
+  Platform.account_exn on_society.W5_workload.Populate.platform on_u0_name
+
+let bench_portability =
+  Test.make_grouped ~name:"portability"
+    [
+      Test.make ~name:"export-bundle"
+        (staged (fun () ->
+             W5_federation.Migrate.export_bundle
+               on_society.W5_workload.Populate.platform takeout_account));
+      Test.make ~name:"encode-bundle"
+        (staged
+           (let bundle =
+              match
+                W5_federation.Migrate.export_bundle
+                  on_society.W5_workload.Populate.platform takeout_account
+              with
+              | Ok b -> b
+              | Error _ -> []
+            in
+            fun () -> W5_federation.Migrate.encode_bundle bundle));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* syscall micro-costs under quota accounting (E7)                     *)
+(* ------------------------------------------------------------------ *)
+
+let syscall_ctx =
+  let kernel = W5_os.Kernel.create () in
+  let ctx = spawn_on kernel "bench" in
+  (match
+     W5_os.Syscall.create_file ctx "/bench-file" ~labels:Flow.bottom
+       ~data:(String.make 256 'x')
+   with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  ctx
+
+let create_counter = ref 0
+
+let bench_syscall =
+  Test.make_grouped ~name:"syscall"
+    [
+      Test.make ~name:"file-exists"
+        (staged (fun () -> W5_os.Syscall.file_exists syscall_ctx "/bench-file"));
+      Test.make ~name:"read-taint-256B"
+        (staged (fun () -> W5_os.Syscall.read_file_taint syscall_ctx "/bench-file"));
+      Test.make ~name:"read-strict-256B"
+        (staged (fun () -> W5_os.Syscall.read_file syscall_ctx "/bench-file"));
+      Test.make ~name:"write-256B"
+        (staged (fun () ->
+             W5_os.Syscall.write_file syscall_ctx "/bench-file"
+               ~data:(String.make 256 'y')));
+      Test.make ~name:"create-unlink"
+        (staged (fun () ->
+             incr create_counter;
+             let path = Printf.sprintf "/bench-tmp-%d" !create_counter in
+             ignore
+               (W5_os.Syscall.create_file syscall_ctx path ~labels:Flow.bottom
+                  ~data:"x");
+             W5_os.Syscall.unlink syscall_ctx path));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* client-filter (E9)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let page_clean =
+  Html.page ~title:"clean"
+    (String.concat ""
+       (List.init 100 (fun i -> Html.element "p" (Printf.sprintf "para %d" i))))
+
+let page_scripted =
+  Html.page ~title:"evil"
+    (String.concat ""
+       (List.init 100 (fun i ->
+            if i mod 10 = 0 then
+              "<script>alert(" ^ string_of_int i ^ ")</script>"
+            else Html.element "p" ~attrs:[ ("onclick", "x()") ] "text")))
+
+let page_marked =
+  Html.page ~title:"calendar"
+    (String.concat ""
+       (List.init 100 (fun i ->
+            if i mod 3 = 0 then
+              Declassifier.secret_span (Printf.sprintf "event %d" i)
+            else Html.element "p" "free slot")))
+
+let bench_filter =
+  Test.make_grouped ~name:"client-filter"
+    [
+      Test.make ~name:"redact-marked-10KB"
+        (staged (fun () -> Declassifier.redact_spans page_marked));
+      Test.make ~name:"detect-clean-10KB"
+        (staged (fun () -> Html.contains_script page_clean));
+      Test.make ~name:"strip-clean-10KB"
+        (staged (fun () -> Html.strip_scripts page_clean));
+      Test.make ~name:"strip-scripted-10KB"
+        (staged (fun () -> Html.strip_scripts page_scripted));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* collaboration: groups and messaging                                 *)
+(* ------------------------------------------------------------------ *)
+
+let collab_platform, collab_group, collab_founder, collab_member =
+  let platform = Platform.create () in
+  let founder =
+    match Platform.signup platform ~user:"founder" ~password:"pw" with
+    | Ok a -> a
+    | Error e -> failwith e
+  in
+  let member =
+    match Platform.signup platform ~user:"member" ~password:"pw" with
+    | Ok a -> a
+    | Error e -> failwith e
+  in
+  let group =
+    match Group.create platform ~founder ~name:"bench-circle" with
+    | Ok g -> g
+    | Error e -> failwith e
+  in
+  (match Group.add_member platform group ~user:"member" with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  List.iter
+    (fun i ->
+      match
+        Group.post platform group ~author:founder
+          ~id:(Printf.sprintf "seed%02d" i)
+          ~body:"seeded post"
+      with
+      | Ok () -> ()
+      | Error _ -> assert false)
+    (List.init 20 Fun.id);
+  (platform, group, founder, member)
+
+let group_post_counter = ref 0
+
+let bench_collab =
+  (* read and caps lookups run before the post bench floods the
+     directory, so "20 posts" stays honest *)
+  Test.make_grouped ~name:"collaboration"
+    [
+      Test.make ~name:"member-caps-lookup"
+        (staged (fun () -> Group.member_caps collab_platform ~user:"member"));
+      Test.make ~name:"group-read-20-posts"
+        (staged (fun () ->
+             Group.read_posts collab_platform collab_group
+               ~reader:collab_member));
+      Test.make ~name:"group-post"
+        (staged (fun () ->
+             incr group_post_counter;
+             Group.post collab_platform collab_group ~author:collab_founder
+               ~id:(Printf.sprintf "p%06d" !group_post_counter)
+               ~body:"benchmark post"));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* rank-ablation: HITS vs PageRank (DESIGN Â§5)                          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_rank_ablation =
+  Test.make_grouped ~name:"rank-ablation"
+    [
+      Test.make ~name:"hits-100"
+        (staged (fun () -> W5_rank.Hits.compute graph_100));
+      Test.make ~name:"hits-1000"
+        (staged (fun () -> W5_rank.Hits.compute graph_1000));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* durability: filesystem snapshot / restore                           *)
+(* ------------------------------------------------------------------ *)
+
+let durability_fs = W5_os.Kernel.fs (Platform.kernel on_society.W5_workload.Populate.platform)
+let durability_image = W5_os.Fs.snapshot durability_fs
+
+let bench_durability =
+  Test.make_grouped ~name:"durability"
+    [
+      Test.make ~name:"snapshot-populated-fs"
+        (staged (fun () -> W5_os.Fs.snapshot durability_fs));
+      Test.make ~name:"restore-populated-fs"
+        (staged (fun () -> W5_os.Fs.restore_into durability_fs durability_image));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* scaling: trace replay vs society size                               *)
+(* ------------------------------------------------------------------ *)
+
+let scaling_societies =
+  List.map
+    (fun n ->
+      ( n,
+        W5_workload.Populate.build ~seed:23 ~users:n ~friends_per_user:3
+          ~photos_per_user:1 ~blog_posts_per_user:1 () ))
+    [ 5; 20 ]
+
+let bench_scaling =
+  Test.make_grouped ~name:"scaling"
+    (List.map
+       (fun (n, society) ->
+         let rng = W5_workload.Rng.create ~seed:77 in
+         let actions =
+           W5_workload.Trace.generate rng ~society
+             ~mix:W5_workload.Trace.read_heavy ~length:50
+         in
+         Test.make
+           ~name:(Printf.sprintf "replay-50-actions-%d-users" n)
+           (staged (fun () -> W5_workload.Trace.replay society actions)))
+       scaling_societies)
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let groups =
+  [
+    bench_fig1;
+    bench_e2e;
+    bench_label_ops;
+    bench_perimeter;
+    bench_declassifier;
+    bench_query;
+    bench_pagerank;
+    bench_rank_ablation;
+    bench_collab;
+    bench_durability;
+    bench_scaling;
+    bench_federation;
+    bench_portability;
+    bench_syscall;
+    bench_filter;
+  ]
+
+let run_and_analyze test =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] test in
+  Analyze.all ols instance raw
+
+let estimate results name =
+  match Hashtbl.find_opt results name with
+  | None -> None
+  | Some ols -> (
+      match Analyze.OLS.estimates ols with
+      | Some (t :: _) -> Some t
+      | Some [] | None -> None)
+
+let pp_ns fmt t =
+  if t > 1e6 then Format.fprintf fmt "%10.3f ms" (t /. 1e6)
+  else if t > 1e3 then Format.fprintf fmt "%10.3f us" (t /. 1e3)
+  else Format.fprintf fmt "%10.1f ns" t
+
+let () =
+  Printf.printf "W5 benchmark harness (one group per DESIGN.md experiment)\n";
+  Printf.printf "==========================================================\n%!";
+  let all_results = Hashtbl.create 128 in
+  List.iter
+    (fun group ->
+      Printf.printf "\n[%s]\n%!" (Test.name group);
+      let results = run_and_analyze group in
+      (* stable presentation: the declared test order *)
+      List.iter
+        (fun name ->
+          match estimate results name with
+          | Some t ->
+              Hashtbl.replace all_results name t;
+              Format.printf "  %-45s %a/run@." name pp_ns t
+          | None -> Format.printf "  %-45s (no estimate)@." name)
+        (Test.names group))
+    groups;
+
+  (* the "shape" summary: who wins and by what factor *)
+  let ratio a b =
+    match (Hashtbl.find_opt all_results a, Hashtbl.find_opt all_results b) with
+    | Some x, Some y when y > 0.0 -> Some (x /. y)
+    | _ -> None
+  in
+  let print_ratio label a b =
+    match ratio a b with
+    | Some r -> Printf.printf "  %-52s %6.2fx\n" label r
+    | None -> Printf.printf "  %-52s (n/a)\n" label
+  in
+  Printf.printf "\nShape summary (cf. EXPERIMENTS.md)\n";
+  Printf.printf "----------------------------------\n";
+  print_ratio "P1  DIFC enforcement overhead (on/off, e2e request)"
+    "e2e-request/own-profile-enforcing"
+    "e2e-request/own-profile-no-enforcement";
+  print_ratio "F2/F1  W5 request vs silo lookup"
+    "e2e-request/own-profile-enforcing" "fig1-baseline/get";
+  print_ratio "E2  declassified friend view vs own view"
+    "e2e-request/friend-view-via-declassifier"
+    "e2e-request/own-profile-enforcing";
+  print_ratio "E2  gate invocation vs inline logic"
+    "declassifier/logic-via-gate" "declassifier/logic-inline";
+  print_ratio "E8  safe query vs leaky baseline (1000 rows)"
+    "query-taint/safe-select-1000" "query-taint/leaky-select-1000";
+  print_ratio "E5  pagerank scaling (1000 vs 100 nodes)"
+    "pagerank/compute-1000" "pagerank/compute-100";
+  print_ratio "E5  hits vs pagerank (1000 nodes)" "rank-ablation/hits-1000"
+    "pagerank/compute-1000";
+  print_ratio "scaling: 20-user vs 5-user society (50-action replay)"
+    "scaling/replay-50-actions-20-users" "scaling/replay-50-actions-5-users";
+  print_ratio "E6  one-update sync vs steady state"
+    "federation-sync/one-update-round" "federation-sync/steady-state-round";
+  print_ratio "label size 64 vs 1 (set union)" "label-ops/set-union-64"
+    "label-ops/set-union-1";
+  print_ratio "label repr: set vs sorted array (union, 64 tags)"
+    "label-ops/set-union-64" "label-ops/array-union-64";
+  Printf.printf "\nbench: done\n"

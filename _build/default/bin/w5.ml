@@ -1,0 +1,315 @@
+(* The W5 command-line driver: boot a simulated provider, drive
+   scripted scenarios, inspect the audit log, rank the module
+   ecosystem. Everything is deterministic from --seed.
+
+     dune exec bin/w5.exe -- <command> [options]
+*)
+
+open Cmdliner
+open W5_http
+open W5_platform
+
+(* ---- shared options ---- *)
+
+let seed_arg =
+  let doc = "PRNG seed for workload generation (determines everything)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let users_arg =
+  let doc = "Number of users in the synthetic society." in
+  Arg.(value & opt int 12 & info [ "users" ] ~docv:"N" ~doc)
+
+let build_society ~seed ~users ~enforcing =
+  W5_workload.Populate.build ~seed ~enforcing ~users ~friends_per_user:3
+    ~photos_per_user:2 ~blog_posts_per_user:1 ()
+
+(* ---- w5 serve: drive a request trace and report ---- *)
+
+let serve seed users requests enforcing =
+  Printf.printf "booting provider (seed=%d, users=%d, enforcing=%b)...\n%!" seed
+    users enforcing;
+  let society = build_society ~seed ~users ~enforcing in
+  let platform = society.W5_workload.Populate.platform in
+  let rng = W5_workload.Rng.create ~seed:(seed + 1) in
+  let everyone = society.W5_workload.Populate.users in
+  let clients =
+    List.map (fun u -> (u, W5_workload.Populate.login society u)) everyone
+  in
+  let pick_client () = W5_workload.Rng.pick rng clients in
+  let outcomes = Hashtbl.create 8 in
+  let count status =
+    Hashtbl.replace outcomes status
+      (1 + Option.value (Hashtbl.find_opt outcomes status) ~default:0)
+  in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to requests do
+    let user, client = pick_client () in
+    let target = W5_workload.Rng.pick rng everyone in
+    let r =
+      match W5_workload.Rng.int rng 4 with
+      | 0 ->
+          Client.get client "/app/core/social" ~params:[ ("user", target) ]
+      | 1 ->
+          Client.get client "/app/core/photos"
+            ~params:[ ("action", "list"); ("user", target) ]
+      | 2 ->
+          Client.get client "/app/core/blog"
+            ~params:[ ("action", "read"); ("user", target) ]
+      | _ ->
+          Client.get client "/app/core/social" ~params:[ ("user", user) ]
+    in
+    count (Response.status_code r.Response.status)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "\n%d requests in %.3fs (%.0f req/s)\n" requests dt
+    (float_of_int requests /. dt);
+  Printf.printf "status breakdown:\n";
+  Hashtbl.fold (fun status n acc -> (status, n) :: acc) outcomes []
+  |> List.sort compare
+  |> List.iter (fun (status, n) -> Printf.printf "  %d -> %d\n" status n);
+  Printf.printf "audit log entries: %d (%d denials)\n"
+    (W5_os.Audit.length (W5_os.Kernel.audit (Platform.kernel platform)))
+    (List.length (W5_os.Audit.denials (W5_os.Kernel.audit (Platform.kernel platform))));
+  Printf.printf "kernel processes spawned: %d\n"
+    (List.length (W5_os.Kernel.processes (Platform.kernel platform)));
+  `Ok ()
+
+let serve_cmd =
+  let requests =
+    Arg.(value & opt int 500 & info [ "requests"; "n" ] ~docv:"N"
+           ~doc:"Number of requests to simulate.")
+  in
+  let enforcing =
+    Arg.(value & opt bool true & info [ "enforcing" ] ~docv:"BOOL"
+           ~doc:"Enable IFC enforcement (false = P1 baseline arm).")
+  in
+  let term = Term.(ret (const serve $ seed_arg $ users_arg $ requests $ enforcing)) in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Boot a provider, replay a random request trace, report outcomes.")
+    term
+
+(* ---- w5 audit: run a breach attempt, show the data-free trail ---- *)
+
+let audit seed users =
+  let society = build_society ~seed ~users ~enforcing:true in
+  let platform = society.W5_workload.Populate.platform in
+  let mal = W5_difc.Principal.make W5_difc.Principal.Developer "mal" in
+  ignore (W5_apps.Malicious.publish_all platform ~dev:mal);
+  let victim = List.hd society.W5_workload.Populate.users in
+  let attacker = Client.make ~name:"attacker" (Gateway.handler platform) in
+  Printf.printf "attacker runs mal/thief and mal/vandal against %s...\n" victim;
+  let r = Client.get attacker "/app/mal/thief" ~params:[ ("target", victim) ] in
+  Printf.printf "  thief:  HTTP %d\n" (Response.status_code r.Response.status);
+  let r = Client.get attacker "/app/mal/vandal" ~params:[ ("target", victim) ] in
+  Printf.printf "  vandal: HTTP %d\n" (Response.status_code r.Response.status);
+  Printf.printf "\naudit log (denials only, no user data):\n";
+  List.iter
+    (fun e -> Format.printf "  %a@." W5_os.Audit.pp_entry e)
+    (W5_os.Audit.denials (W5_os.Kernel.audit (Platform.kernel platform)));
+  `Ok ()
+
+let audit_cmd =
+  let term = Term.(ret (const audit $ seed_arg $ users_arg)) in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Run attack apps against a user and print the denial trail.")
+    term
+
+(* ---- w5 rank: the code-search view of a module ecosystem ---- *)
+
+let rank seed modules top =
+  let platform = Platform.create () in
+  ignore
+    (W5_workload.Populate.fill_dependency_graph ~seed platform ~modules
+       ~imports_per_module:3);
+  let registry = Platform.registry platform in
+  let graph = W5_rank.Code_search.graph_of_registry registry in
+  Printf.printf "modules=%d edges=%d pagerank-iterations=%d\n"
+    (W5_rank.Depgraph.node_count graph)
+    (W5_rank.Depgraph.edge_count graph)
+    (W5_rank.Pagerank.iterations_to_converge graph);
+  let results = W5_rank.Code_search.score_all registry in
+  Printf.printf "top %d modules:\n" top;
+  List.iteri
+    (fun i r ->
+      if i < top then
+        Printf.printf "  %2d. %-16s score=%.4f pagerank=%.4f\n" (i + 1)
+          r.W5_rank.Code_search.app_id r.W5_rank.Code_search.total
+          r.W5_rank.Code_search.pagerank)
+    results;
+  `Ok ()
+
+let rank_cmd =
+  let modules =
+    Arg.(value & opt int 50 & info [ "modules" ] ~docv:"N"
+           ~doc:"Size of the synthetic module ecosystem.")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"How many to print.")
+  in
+  let term = Term.(ret (const rank $ seed_arg $ modules $ top)) in
+  Cmd.v
+    (Cmd.info "rank" ~doc:"Rank a synthetic module ecosystem (code search, E5).")
+    term
+
+(* ---- w5 sync: two providers converging ---- *)
+
+let sync_demo rounds =
+  let a = { W5_federation.Sync.platform = Platform.create (); provider_name = "east" } in
+  let b = { W5_federation.Sync.platform = Platform.create (); provider_name = "west" } in
+  let ok_s = function Ok v -> v | Error e -> failwith e in
+  ignore (ok_s (Platform.signup a.W5_federation.Sync.platform ~user:"zoe" ~password:"pw"));
+  ignore (ok_s (Platform.signup b.W5_federation.Sync.platform ~user:"zoe" ~password:"pw"));
+  let link =
+    ok_s (W5_federation.Sync.establish ~a ~b ~user:"zoe" ~files:[ "profile"; "friends" ] ())
+  in
+  for round = 1 to rounds do
+    let side, name = if round mod 2 = 0 then (a, "east") else (b, "west") in
+    let account = Platform.account_exn side.W5_federation.Sync.platform "zoe" in
+    ignore
+      (Platform.write_user_record side.W5_federation.Sync.platform account
+         ~file:"profile"
+         (W5_store.Record.of_fields
+            [ ("user", "zoe"); ("edited-on", name); ("round", string_of_int round) ]));
+    let stats = ok_s (W5_federation.Sync.sync link) in
+    Printf.printf
+      "round %2d: edit on %-4s | a->b %d, b->a %d, merged %d, converged %b\n"
+      round name stats.W5_federation.Sync.a_to_b stats.W5_federation.Sync.b_to_a
+      stats.W5_federation.Sync.merged
+      (W5_federation.Sync.converged link)
+  done;
+  `Ok ()
+
+let sync_cmd =
+  let rounds =
+    Arg.(value & opt int 6 & info [ "rounds" ] ~docv:"N" ~doc:"Edit/sync rounds.")
+  in
+  let term = Term.(ret (const sync_demo $ rounds)) in
+  Cmd.v
+    (Cmd.info "sync" ~doc:"Demonstrate cross-provider mirroring (E6).")
+    term
+
+(* ---- w5 trace: replay a generated workload and report ---- *)
+
+let trace seed users length mix_name =
+  let society = build_society ~seed ~users ~enforcing:true in
+  let mix =
+    match mix_name with
+    | "write-heavy" -> W5_workload.Trace.write_heavy
+    | _ -> W5_workload.Trace.read_heavy
+  in
+  let rng = W5_workload.Rng.create ~seed:(seed + 100) in
+  let actions = W5_workload.Trace.generate rng ~society ~mix ~length in
+  Printf.printf "replaying %d %s actions over %d users...\n%!" length mix_name
+    users;
+  let t0 = Unix.gettimeofday () in
+  let outcome = W5_workload.Trace.replay society actions in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "done in %.3fs (%.0f actions/s): ok %d, refused %d, throttled %d, failed %d\n"
+    dt
+    (float_of_int outcome.W5_workload.Trace.total /. dt)
+    outcome.W5_workload.Trace.ok outcome.W5_workload.Trace.forbidden
+    outcome.W5_workload.Trace.throttled outcome.W5_workload.Trace.failed;
+  print_newline ();
+  print_string (Admin.render (Admin.collect society.W5_workload.Populate.platform));
+  (match Admin.suspicious_apps (Admin.collect society.W5_workload.Populate.platform) with
+  | [] -> ()
+  | apps ->
+      Printf.printf "\nsuspicious apps (>=3 denials): %s\n"
+        (String.concat ", " apps));
+  `Ok ()
+
+let trace_cmd =
+  let length =
+    Arg.(value & opt int 400 & info [ "length"; "n" ] ~docv:"N"
+           ~doc:"Number of actions in the trace.")
+  in
+  let mix =
+    Arg.(value & opt string "read-heavy" & info [ "mix" ] ~docv:"MIX"
+           ~doc:"Action mix: read-heavy or write-heavy.")
+  in
+  let term = Term.(ret (const trace $ seed_arg $ users_arg $ length $ mix)) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Generate a seeded action trace, replay it, print the provider report.")
+    term
+
+(* ---- w5 export: a user's portable data bundle ---- *)
+
+let export_user seed users who =
+  let society = build_society ~seed ~users ~enforcing:true in
+  let platform = society.W5_workload.Populate.platform in
+  let user =
+    match who with
+    | Some user -> user
+    | None -> List.hd society.W5_workload.Populate.users
+  in
+  match Platform.find_account platform user with
+  | None -> `Error (false, "no such user: " ^ user)
+  | Some account -> (
+      match W5_federation.Migrate.export_bundle platform account with
+      | Error e -> `Error (false, W5_os.Os_error.to_string e)
+      | Ok bundle ->
+          Printf.printf "# portable bundle for %s (%d entries)\n" user
+            (List.length bundle);
+          print_string (W5_federation.Migrate.encode_bundle bundle);
+          print_newline ();
+          `Ok ())
+
+let export_cmd =
+  let who =
+    Arg.(value & opt (some string) None & info [ "user" ] ~docv:"USER"
+           ~doc:"Which user to export (defaults to the first).")
+  in
+  let term = Term.(ret (const export_user $ seed_arg $ users_arg $ who)) in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Print a user's whole-account portable bundle (data takeout).")
+    term
+
+(* ---- w5 experiments: the index ---- *)
+
+let experiments () =
+  print_string
+    "Experiment index (full table in DESIGN.md \xc2\xa74, results in EXPERIMENTS.md)\n\
+     \n\
+    \  F1  Figure 1 silo baseline .......... bench fig1-baseline, examples/quickstart.exe\n\
+    \  F2  Figure 2 W5 meta-application .... bench e2e-request, examples/quickstart.exe\n\
+    \  E1  boilerplate privacy ............. test integration+apps, bench export-check\n\
+    \  E2  declassifiers ................... test integration, bench declassifier\n\
+    \  E3  write protection ................ test os/apps (vandal)\n\
+    \  E4  read/integrity protection ....... test integration (read protection e2e)\n\
+    \  E5  code search ..................... test rank, bench pagerank, w5 rank\n\
+    \  E6  multi-provider federation ....... test federation, bench federation-sync, w5 sync\n\
+    \  E7  resource allocation ............. test os/apps (hog, spammer), bench syscall\n\
+    \  E8  covert channels ................. test store, bench query-taint\n\
+    \  E9  client-side JavaScript .......... test http/integration, bench client-filter\n\
+    \  E10 server-side mashup .............. test apps, examples/photo_mashup.exe\n\
+    \  E11 fork + version pinning .......... test platform/integration\n\
+    \  E12 recommendation/dating/chameleon . test apps, examples/recommendation.exe\n\
+    \  P1  enforcement overhead ............ bench e2e-request (on vs off)\n\
+    \  E13 messaging (safe queries) ........ test apps (message*), bench query-taint\n\
+    \  E14 transforming declassifiers ...... test apps (calendar, polls)\n\
+    \  E15 groups (restricted tags) ........ test platform/apps (group*), bench collaboration\n\
+    \  E16 DNS front-end ................... test http/integration (dns*)\n\
+    \  E17 e-mail is an export ............. test apps (digest email)\n\
+    \  E18 provider operations ............. test platform (admin, limits), bench durability\n\
+    \  E19 data portability ................ test federation (migrate*, takeout), w5 export\n";
+  `Ok ()
+
+let experiments_cmd =
+  let term = Term.(ret (const experiments $ const ())) in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Print the experiment-to-artifact index.")
+    term
+
+let main_cmd =
+  let doc = "World Wide Web Without Walls — simulated provider driver" in
+  let info = Cmd.info "w5" ~version:"1.0" ~doc in
+  Cmd.group info
+    [ serve_cmd; audit_cmd; rank_cmd; sync_cmd; trace_cmd; export_cmd;
+      experiments_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

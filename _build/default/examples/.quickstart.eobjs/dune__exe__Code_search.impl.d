@@ -1,0 +1,1 @@
+examples/code_search.ml: App_registry Code_search Depgraph Editor Fun List Pagerank Platform Populate Printf String W5_platform W5_rank W5_workload

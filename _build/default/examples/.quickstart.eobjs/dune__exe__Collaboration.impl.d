@@ -1,0 +1,1 @@
+examples/collaboration.ml: Account Client Declassifier Gateway Group List Platform Policy Printf Response W5_apps W5_difc W5_http W5_os W5_platform W5_store

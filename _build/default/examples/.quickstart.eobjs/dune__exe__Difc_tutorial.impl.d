@@ -1,0 +1,1 @@
+examples/difc_tutorial.ml: Audit Capability Flow Kernel Label Os_error Printf Resource Syscall Tag W5_difc W5_os

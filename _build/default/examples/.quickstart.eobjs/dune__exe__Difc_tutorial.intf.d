@@ -1,0 +1,1 @@
+examples/difc_tutorial.mli:

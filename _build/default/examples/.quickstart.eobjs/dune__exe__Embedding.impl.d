@@ -1,0 +1,1 @@
+examples/embedding.ml: App_registry Gateway Platform Printf Syscall W5_difc W5_http W5_os W5_platform

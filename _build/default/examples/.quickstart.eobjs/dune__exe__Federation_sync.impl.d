@@ -1,0 +1,1 @@
+examples/federation_sync.ml: Platform Printf Record Sync W5_federation W5_os W5_platform W5_store

@@ -1,0 +1,1 @@
+examples/photo_mashup.ml: Account Client Gateway List Platform Policy Principal Printf Response String W5_apps W5_difc W5_http W5_os W5_platform

@@ -1,0 +1,1 @@
+examples/provider_ops.ml: Admin Client Gateway List Platform Populate Printf Rate_limit Response Rng String Trace W5_apps W5_difc W5_http W5_os W5_platform W5_workload

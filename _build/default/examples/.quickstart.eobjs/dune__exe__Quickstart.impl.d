@@ -1,0 +1,1 @@
+examples/quickstart.ml: Account Client Gateway List Platform Policy Principal Printf Response Result String W5_apps W5_difc W5_http W5_platform

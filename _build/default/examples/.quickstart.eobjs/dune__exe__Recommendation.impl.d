@@ -1,0 +1,1 @@
+examples/recommendation.ml: Account Client Declassifier List Mailer Platform Policy Populate Printf Response W5_apps W5_difc W5_http W5_platform W5_workload

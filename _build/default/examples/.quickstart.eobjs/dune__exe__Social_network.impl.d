@@ -1,0 +1,1 @@
+examples/social_network.ml: Account Client Declassifier Format Gateway List Platform Policy Principal Printf Response W5_apps W5_difc W5_http W5_os W5_platform

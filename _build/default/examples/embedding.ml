@@ -1,0 +1,64 @@
+(* The minimal embedding: what a downstream project writes to host a
+   W5 platform with one custom application. This file doubles as the
+   README's "getting started" snippet — compiled, so it cannot rot.
+
+     dune exec examples/embedding.exe
+*)
+
+open W5_platform
+
+(* 1. An application is a function from a kernel context + request
+   environment to a response. It touches the world only through
+   syscalls: reads taint it, writes need delegation, and it could not
+   leak data if it tried. *)
+let greeter ctx (env : App_registry.env) =
+  let open W5_os in
+  (* whoever asks, the app reads ada's profile — a tainting read; the
+     perimeter decides who may actually receive the result *)
+  let who =
+    match Syscall.read_file_taint ctx "/users/ada/profile" with
+    | Ok _ -> (
+        match env.App_registry.viewer with
+        | Some user -> user ^ " (ada's data read)"
+        | None -> "stranger (ada's data read)")
+    | Error _ -> "nobody"
+  in
+  ignore (Syscall.respond ctx (W5_http.Html.page ~title:"hi" ("hello, " ^ who)))
+
+let () =
+  (* 2. Boot a provider and publish the app. *)
+  let platform = Platform.create () in
+  let dev = W5_difc.Principal.make W5_difc.Principal.Developer "you" in
+  (match
+     App_registry.publish (Platform.registry platform) ~dev ~name:"greeter"
+       ~version:"1.0"
+       ~source:(App_registry.Open_source "the twelve lines above")
+       greeter
+   with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+
+  (* 3. Users sign up and adopt the app with one click. *)
+  (match Platform.signup platform ~user:"ada" ~password:"s3cret" with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  (match Platform.enable_app platform ~user:"ada" ~app:"you/greeter" with
+  | Ok () -> ()
+  | Error e -> failwith e);
+
+  (* 4. Browsers talk to the gateway; the perimeter decides what they
+     may see. *)
+  let browser = W5_http.Client.make ~name:"ada" (Gateway.handler platform) in
+  ignore
+    (W5_http.Client.post browser "/login"
+       ~form:[ ("user", "ada"); ("pass", "s3cret") ]);
+  let response = W5_http.Client.get browser "/app/you/greeter" in
+  Printf.printf "ada gets HTTP %d: profile data flowed to its owner\n"
+    (W5_http.Response.status_code response.W5_http.Response.status);
+
+  let anonymous = W5_http.Client.make (Gateway.handler platform) in
+  let response = W5_http.Client.get anonymous "/app/you/greeter" in
+  Printf.printf
+    "a stranger gets HTTP %d: the same page, tainted by ada, cannot leave\n"
+    (W5_http.Response.status_code response.W5_http.Response.status);
+  print_endline "embedding: done"

@@ -1,0 +1,107 @@
+(* Two §2/§4 stories in one run:
+
+   1. Pluggable modules: the user picks which developer's crop module
+      processes her photos ("use developer A's photo cropping module").
+   2. The server-side mashup: her private address book is drawn on a
+      map without the map developer ever being able to take the
+      addresses home — even when the map module actively tries.
+
+     dune exec examples/photo_mashup.exe
+*)
+
+open W5_difc
+open W5_http
+open W5_platform
+
+let step fmt = Printf.ksprintf (fun s -> Printf.printf "  - %s\n" s) fmt
+
+let () =
+  print_endline "=== photos with user-chosen modules ===";
+  let platform = Platform.create () in
+  let core = Principal.make Principal.Developer "core" in
+  let dev_a = Principal.make Principal.Developer "devA" in
+  let dev_b = Principal.make Principal.Developer "devB" in
+  let gmaps = Principal.make Principal.Developer "gmaps" in
+  let gmaps_evil = Principal.make Principal.Developer "gmaps-evil" in
+  let ok = function Ok _ -> () | Error e -> failwith e in
+  ok (W5_apps.Photo_app.publish platform ~dev:core);
+  ok (W5_apps.Mashup_app.publish platform ~dev:core);
+  ok (W5_apps.Photo_app.publish_crop_module platform ~dev:dev_a ~name:"crop" ~style:`Head);
+  ok (W5_apps.Photo_app.publish_crop_module platform ~dev:dev_b ~name:"crop" ~style:`Frame);
+  ok (W5_apps.Mashup_app.publish_map_module platform ~dev:gmaps ~name:"render" ~evil:false);
+  ok (W5_apps.Mashup_app.publish_map_module platform ~dev:gmaps_evil ~name:"render" ~evil:true);
+
+  let account =
+    match Platform.signup platform ~user:"amy" ~password:"pw" with
+    | Ok a -> a
+    | Error e -> failwith e
+  in
+  List.iter
+    (fun app ->
+      (match Platform.enable_app platform ~user:"amy" ~app with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      Policy.delegate_write account.Account.policy app)
+    [ "core/photos"; "core/mashup"; "devA/crop"; "devB/crop" ];
+  let amy = Client.make ~name:"amy" (Gateway.handler platform) in
+  ignore (Client.post amy "/login" ~form:[ ("user", "amy"); ("pass", "pw") ]);
+  ignore
+    (Client.post amy "/app/core/photos"
+       ~form:[ ("action", "upload"); ("id", "pier"); ("data", "PIXELROW-ABCDEFGH") ]);
+  step "amy uploads a photo";
+
+  let view () =
+    (Client.get amy "/app/core/photos"
+       ~params:[ ("action", "view"); ("user", "amy"); ("id", "pier"); ("size", "8") ])
+      .Response.body
+  in
+  step "no module chosen: %s" (String.sub (view ()) 0 80);
+  Policy.choose_module account.Account.policy ~slot:"photo.crop" ~module_id:"devA/crop";
+  step "with devA's head-crop: %s" (String.sub (view ()) 0 80);
+  Policy.choose_module account.Account.policy ~slot:"photo.crop" ~module_id:"devB/crop";
+  step "with devB's framer:   %s" (String.sub (view ()) 0 80);
+
+  print_endline "\n=== asynchronous thumbnails (a labeled worker) ===";
+  (match W5_apps.Thumb_service.install platform ~user:"amy" with
+  | Ok _ -> () | Error e -> failwith (W5_os.Os_error.to_string e));
+  let r = Client.post amy "/app/core/photos" ~form:[ ("action", "thumb"); ("id", "pier") ] in
+  step "amy queues a thumbnail job: HTTP %d" (Response.status_code r.Response.status);
+  (match W5_apps.Thumb_service.pump_for platform ~user:"amy" with
+  | Ok n -> step "the worker ran %d job(s); it held write access only while serving amy" n
+  | Error e -> failwith (W5_os.Os_error.to_string e));
+  let r =
+    Client.get amy "/app/core/photos"
+      ~params:[ ("action", "view"); ("user", "amy"); ("id", "pier.thumb") ]
+  in
+  step "the thumbnail is in her collection: HTTP %d" (Response.status_code r.Response.status);
+
+  print_endline "\n=== the address-book mashup (\u{00a7}4) ===";
+  List.iter
+    (fun (name, street) ->
+      ignore
+        (Client.post amy "/app/core/mashup"
+           ~form:[ ("action", "add"); ("name", name); ("street", street) ]))
+    [ ("mom", "12 Elm Street"); ("dentist", "99 Oak Avenue"); ("work", "1 Infinite Loop") ];
+  step "amy's address book has 3 private entries";
+  let r = Client.get amy "/app/core/mashup" ~params:[ ("action", "map") ] in
+  step "server-side map rendered for amy: HTTP %d" (Response.status_code r.Response.status);
+
+  (* now the hostile renderer *)
+  Policy.choose_module account.Account.policy ~slot:"map.render"
+    ~module_id:"gmaps-evil/render";
+  let r = Client.get amy "/app/core/mashup" ~params:[ ("action", "map") ] in
+  step "evil renderer still draws the map: HTTP %d" (Response.status_code r.Response.status);
+  let stash_exists =
+    match
+      Platform.with_ctx platform ~name:"inspect" (fun ctx ->
+          Ok (W5_os.Syscall.file_exists ctx "/apps/gmaps-evil/stash"))
+    with
+    | Ok b -> b
+    | Error _ -> false
+  in
+  step "its attempt to stash her addresses for later pickup: %s"
+    (if stash_exists then "SUCCEEDED (bug!)" else "DENIED by the kernel");
+  step
+    "contrast with the client-side mashup of \u{00a7}4: there, the map API call \
+     itself ships the addresses to the map vendor";
+  print_endline "\nphoto_mashup: done"

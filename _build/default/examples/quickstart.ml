@@ -1,0 +1,84 @@
+(* Quickstart: Figure 1 vs Figure 2 in one terminal session.
+
+   Runs the same story twice — first on a model of today's siloed Web,
+   then on W5 — and prints what each architecture lets happen.
+
+     dune exec examples/quickstart.exe
+*)
+
+open W5_difc
+open W5_http
+open W5_platform
+
+let section title =
+  Printf.printf "\n=== %s ===\n" title
+
+let step fmt = Printf.ksprintf (fun s -> Printf.printf "  - %s\n" s) fmt
+
+let figure_1 () =
+  section "Figure 1: today's Web (no walls *inside*, walls *between*)";
+  let open W5_apps.Silo_baseline in
+  let flickr = create_site "photo-silo" in
+  let upstart = create_site "upstart-silo" in
+  set_data flickr ~user:"amy" ~key:"photos" ~value:"amy-beach.jpg";
+  set_data flickr ~user:"amy" ~key:"music" ~value:"jazz,bossa";
+  step "amy uploads photos and preferences to photo-silo";
+  step "a malicious app on the silo exports everything: %S"
+    (thief_export flickr ~user:"amy");
+  step "her 'privacy settings' help only if the site honors them: %s"
+    (match privacy_setting flickr ~user:"amy" ~honored:false with
+    | Some _ -> "they did not, data gone"
+    | None -> "honored");
+  let n = migrate ~from_site:flickr ~to_site:upstart ~user:"amy" in
+  step "switching to the upstart means re-entering %d items by hand" n
+
+let figure_2 () =
+  section "Figure 2: the W5 meta-application";
+  let platform = Platform.create () in
+  let dev = Principal.make Principal.Developer "core" in
+  let publish r = match r with Ok _ -> () | Error e -> failwith e in
+  publish (Result.map ignore (W5_apps.Social_app.publish platform ~dev));
+  publish (Result.map ignore (W5_apps.Photo_app.publish platform ~dev));
+  let mal = Principal.make Principal.Developer "mal" in
+  ignore (W5_apps.Malicious.publish_all platform ~dev:mal);
+  step "provider boots; developers publish social, photo and (yes) malicious apps";
+
+  (* amy signs up once; her data lives with her, not with any app *)
+  let amy = match Platform.signup platform ~user:"amy" ~password:"pw" with
+    | Ok a -> a | Error e -> failwith e in
+  List.iter
+    (fun app ->
+      (match Platform.enable_app platform ~user:"amy" ~app with
+      | Ok () -> () | Error e -> failwith e);
+      Policy.delegate_write amy.Account.policy app)
+    [ "core/social"; "core/photos"; "mal/thief" ];
+  let browser = Client.make ~name:"amy" (Gateway.handler platform) in
+  ignore (Client.post browser "/login" ~form:[ ("user", "amy"); ("pass", "pw") ]);
+  ignore
+    (Client.post browser "/app/core/photos"
+       ~form:[ ("action", "upload"); ("id", "beach"); ("data", "amy-beach.jpg") ]);
+  ignore
+    (Client.post browser "/app/core/social"
+       ~form:[ ("action", "set_profile"); ("field", "music"); ("value", "jazz,bossa") ]);
+  step "amy stores photos and preferences ONCE, on the platform";
+
+  (* the same data is visible to every app she enables; no re-upload *)
+  let r = Client.get browser "/app/core/photos" ~params:[ ("action", "list") ] in
+  step "the photo app lists her data: HTTP %d" (Response.status_code r.Response.status);
+
+  (* and the thief she foolishly enabled cannot export a byte *)
+  let evil_browser = Client.make ~name:"evil-dev" (Gateway.handler platform) in
+  let r = Client.get evil_browser "/app/mal/thief" ~params:[ ("target", "amy") ] in
+  step "the thief app reads her data freely but exports: HTTP %d (%s)"
+    (Response.status_code r.Response.status)
+    (String.sub r.Response.body 0 (min 40 (String.length r.Response.body)));
+  step "amy's own browser still works: the boilerplate policy exports only to her";
+  let r = Client.get browser "/app/core/social" ~params:[ ("user", "amy") ] in
+  step "amy views her profile: HTTP %d" (Response.status_code r.Response.status);
+  Printf.printf "\nRequests served by the meta-application: %d\n"
+    (Platform.requests_served platform)
+
+let () =
+  figure_1 ();
+  figure_2 ();
+  print_endline "\nquickstart: done"

@@ -1,0 +1,1 @@
+lib/apps/app_util.ml: App_registry Capability Flow Fs Html Label List Os_error Record Result Syscall Tag W5_difc W5_http W5_os W5_platform W5_store

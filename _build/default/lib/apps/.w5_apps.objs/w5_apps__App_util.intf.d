@@ -1,0 +1,1 @@
+lib/apps/app_util.mli: App_registry Kernel Os_error Record W5_difc W5_os W5_platform W5_store

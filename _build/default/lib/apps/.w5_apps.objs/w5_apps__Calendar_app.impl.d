@@ -1,0 +1,1 @@
+lib/apps/calendar_app.ml: App_registry App_util Array Declassifier Html List Option Os_error Platform Printf Record Request String Syscall W5_http W5_os W5_platform W5_store

@@ -1,0 +1,1 @@
+lib/apps/chameleon_app.ml: App_registry App_util Html List Os_error Platform Record Request W5_http W5_os W5_platform W5_store

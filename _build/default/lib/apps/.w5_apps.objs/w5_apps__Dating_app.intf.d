@@ -1,0 +1,1 @@
+lib/apps/dating_app.mli: W5_difc W5_platform

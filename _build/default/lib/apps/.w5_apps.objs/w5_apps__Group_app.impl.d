@@ -1,0 +1,1 @@
+lib/apps/group_app.ml: App_registry App_util Capability Flow Fs Group Html Label List Os_error Platform Record Request String Syscall Tag W5_difc W5_http W5_os W5_platform W5_store

@@ -1,0 +1,1 @@
+lib/apps/malicious.ml: App_registry App_util Char Html List Os_error Platform Printf Request String Syscall W5_difc W5_http W5_os W5_platform W5_store

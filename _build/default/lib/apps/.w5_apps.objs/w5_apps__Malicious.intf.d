@@ -1,0 +1,1 @@
+lib/apps/malicious.mli: App_registry Platform W5_difc W5_platform

@@ -1,0 +1,1 @@
+lib/apps/mashup_app.ml: App_registry App_util Array Hashtbl Html List Option Os_error Platform Principal Printf Record Request String Syscall Uri W5_difc W5_http W5_os W5_platform W5_store

@@ -1,0 +1,1 @@
+lib/apps/message_app.ml: App_registry App_util Flow Fs Html Label List Obj_store Os_error Platform Printf Query Record Request Syscall W5_difc W5_http W5_os W5_platform W5_store

@@ -1,0 +1,1 @@
+lib/apps/message_app.mli: W5_difc W5_platform

@@ -1,0 +1,1 @@
+lib/apps/photo_app.ml: App_registry App_util Html List Os_error Platform Request String Syscall Thumb_service Uri W5_http W5_os W5_platform

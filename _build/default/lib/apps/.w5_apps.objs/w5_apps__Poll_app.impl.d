@@ -1,0 +1,1 @@
+lib/apps/poll_app.ml: App_registry App_util Declassifier Flow Fs Hashtbl Html List Obj_store Option Os_error Platform Printf Query Record Request Syscall W5_difc W5_http W5_os W5_platform W5_store

@@ -1,0 +1,1 @@
+lib/apps/recommend_app.ml: App_registry App_util Html Int List Platform Printf Record Request String Syscall W5_http W5_os W5_platform W5_store

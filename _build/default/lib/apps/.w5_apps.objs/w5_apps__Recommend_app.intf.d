@@ -1,0 +1,1 @@
+lib/apps/recommend_app.mli: W5_difc W5_platform

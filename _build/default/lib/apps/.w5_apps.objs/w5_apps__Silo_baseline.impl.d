@@ -1,0 +1,1 @@
+lib/apps/silo_baseline.ml: Hashtbl List Option String

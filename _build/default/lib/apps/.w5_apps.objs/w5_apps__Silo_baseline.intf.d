@@ -1,0 +1,1 @@
+lib/apps/silo_baseline.mli:

@@ -1,0 +1,1 @@
+lib/apps/social_app.mli: W5_difc W5_platform

@@ -1,0 +1,1 @@
+lib/apps/thumb_service.ml: Account Capability Flow Hashtbl Label List Os_error Platform Principal Proc Service String Syscall Tag W5_difc W5_os W5_platform

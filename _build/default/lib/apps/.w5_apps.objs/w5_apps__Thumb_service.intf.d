@@ -1,0 +1,1 @@
+lib/apps/thumb_service.mli: Platform W5_os W5_platform

@@ -1,0 +1,89 @@
+open W5_difc
+open W5_os
+open W5_store
+open W5_http
+open W5_platform
+
+let user_dir user = "/users/" ^ user
+let user_file user file = user_dir user ^ "/" ^ file
+
+let read_record ctx ~user ~file =
+  match Syscall.read_file_taint ctx (user_file user file) with
+  | Error _ as e -> e
+  | Ok data ->
+      Result.map_error (fun m -> Os_error.Invalid m) (Record.decode data)
+
+let write_record ctx ~user ~file ~labels record =
+  let path = user_file user file in
+  let data = Record.encode record in
+  if Syscall.file_exists ctx path then Syscall.write_file ctx path ~data
+  else Syscall.create_file ctx path ~labels ~data
+
+let friends_of ctx ~user =
+  match read_record ctx ~user ~file:"friends" with
+  | Error _ -> []
+  | Ok r -> Record.get_list r "friends"
+
+let respond_page ctx ~title body =
+  ignore (Syscall.respond ctx (Html.page ~title body))
+
+let respond_error ctx message =
+  respond_page ctx ~title:"error" (Html.element "p" (Html.text message))
+
+let viewer_or_respond ctx (env : App_registry.env) =
+  match env.App_registry.viewer with
+  | Some user -> Some user
+  | None ->
+      respond_error ctx "please log in";
+      None
+
+let endorse_write ctx (_env : App_registry.env) ~user =
+  (* The write tag is discoverable only through its own account here;
+     apps learn it by probing their capability set: the gateway put
+     exactly the delegated [t+]s there. *)
+  let candidates =
+    Capability.Set.to_list (Syscall.my_caps ctx)
+    |> List.filter_map (fun cap ->
+           let tag = Capability.tag cap in
+           if
+             Capability.sign cap = Capability.Plus
+             && Tag.kind tag = Tag.Integrity
+             && Tag.name tag = user ^ ".write"
+           then Some tag
+           else None)
+  in
+  match candidates with
+  | [] -> false
+  | tag :: _ -> (
+      match Syscall.endorse_self ctx tag with Ok () -> true | Error _ -> false)
+
+let user_data_labels ctx ~user =
+  match Syscall.stat ctx (user_dir user) with
+  | Error _ -> None
+  | Ok st ->
+      let write_tag =
+        Capability.Set.to_list (Syscall.my_caps ctx)
+        |> List.find_map (fun cap ->
+               let tag = Capability.tag cap in
+               if Tag.kind tag = Tag.Integrity && Tag.name tag = user ^ ".write"
+               then Some tag
+               else None)
+      in
+      let integrity =
+        match write_tag with
+        | Some tag -> Label.singleton tag
+        | None -> Label.empty
+      in
+      Some (Flow.make ~secrecy:st.Fs.labels.Flow.secrecy ~integrity ())
+
+let list_user_files ctx ~user ~sub =
+  let dir = user_file user sub in
+  match Syscall.stat ctx dir with
+  | Error _ -> []
+  | Ok st -> (
+      match Syscall.add_taint ctx st.Fs.labels.Flow.secrecy with
+      | Error _ -> []
+      | Ok () -> (
+          match Syscall.readdir ctx dir with
+          | Ok names -> names
+          | Error _ -> []))

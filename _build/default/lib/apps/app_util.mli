@@ -1,0 +1,52 @@
+(** Shared helpers for developer-contributed application code.
+
+    Everything here runs {e inside} an app process: it only touches
+    the world through {!W5_os.Syscall}, so it carries no privilege of
+    its own — it is convenience, not TCB. *)
+
+open W5_os
+open W5_store
+open W5_platform
+
+val user_dir : string -> string
+val user_file : string -> string -> string
+
+val read_record :
+  Kernel.ctx -> user:string -> file:string -> (Record.t, Os_error.t) result
+(** Tainting read + decode of [/users/<user>/<file>]. *)
+
+val write_record :
+  Kernel.ctx -> user:string -> file:string -> labels:W5_difc.Flow.labels ->
+  Record.t -> (unit, Os_error.t) result
+(** Create-or-overwrite. The caller must already satisfy the write
+    protection (hold and have endorsed the user's write tag). *)
+
+val friends_of : Kernel.ctx -> user:string -> string list
+(** The user's friend list; empty on any error. *)
+
+val respond_page :
+  Kernel.ctx -> title:string -> string -> unit
+(** Wrap in an HTML page and respond; ignores secondary errors (an app
+    that dies mid-respond is just an app with no response). *)
+
+val respond_error : Kernel.ctx -> string -> unit
+
+val viewer_or_respond : Kernel.ctx -> App_registry.env -> string option
+(** The authenticated user, or [None] after responding with a login
+    prompt. *)
+
+val endorse_write :
+  Kernel.ctx -> App_registry.env -> user:string -> bool
+(** Endorse the caller's process with [user]'s write tag if the
+    gateway granted the capability. Returns success. Apps call this
+    immediately before writing user data. *)
+
+val list_user_files : Kernel.ctx -> user:string -> sub:string -> string list
+(** Names under [/users/<user>/<sub>]; empty on any error. *)
+
+val user_data_labels :
+  Kernel.ctx -> user:string -> W5_difc.Flow.labels option
+(** The labels a fresh object owned by [user] should carry: the
+    secrecy of the user's home directory plus, if the caller holds the
+    user's delegated write capability, the user's write tag for
+    integrity. *)

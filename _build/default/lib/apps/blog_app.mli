@@ -1,0 +1,26 @@
+(** Blogging over the same labeled storage as every other app — the
+    point of commingling (§1): one user's photos, friend list and blog
+    live on one platform and any app the user chose can work on them.
+
+    Entries are records under [/users/<u>/blog/<id>].
+
+    Comments are cross-user data: a comment on U's entry is written by
+    its commenter, stored in the object store under the {e commenter's}
+    secrecy label, and listed with the taint-joining query engine — so
+    even the entry's author sees a comment only if its writer's
+    declassifier clears the export. Nobody's words are hostage to the
+    page they appear on.
+
+    Routes:
+    - [POST action=post&id=I&title=T&body=B] (write delegation)
+    - [POST action=comment&user=U&id=I&text=T] — comment on U's entry
+    - [?action=read&user=U] — render all of U's entries with comments
+    - [?action=read&user=U&id=I] — one entry *)
+
+val app_name : string
+val comments_collection : author:string -> entry:string -> string
+val handler : W5_platform.App_registry.handler
+
+val publish :
+  W5_platform.Platform.t -> dev:W5_difc.Principal.t ->
+  (W5_platform.App_registry.app, string) result

@@ -1,0 +1,122 @@
+open W5_os
+open W5_store
+open W5_http
+open W5_platform
+
+let app_name = "calendar"
+let calendar_dir user = App_util.user_file user "calendar"
+let event_path user id = calendar_dir user ^ "/" ^ id
+
+let add_event ctx env ~viewer ~id ~title ~day ~start ~len =
+  if not (App_util.endorse_write ctx env ~user:viewer) then
+    App_util.respond_error ctx "write not delegated to this app"
+  else
+    match App_util.user_data_labels ctx ~user:viewer with
+    | None -> App_util.respond_error ctx "cannot determine labels"
+    | Some labels -> (
+        (match Syscall.mkdir ctx (calendar_dir viewer) ~labels with
+        | Ok () | Error (Os_error.Already_exists _) -> ()
+        | Error e -> App_util.respond_error ctx (Os_error.to_string e));
+        let event =
+          Record.of_fields
+            [
+              ("title", title);
+              ("day", string_of_int day);
+              ("start", string_of_int start);
+              ("len", string_of_int len);
+            ]
+        in
+        let path = event_path viewer id in
+        let data = Record.encode event in
+        let result =
+          if Syscall.file_exists ctx path then Syscall.write_file ctx path ~data
+          else Syscall.create_file ctx path ~labels ~data
+        in
+        match result with
+        | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+        | Ok () ->
+            App_util.respond_page ctx ~title:"calendar"
+              (Html.text ("event stored: " ^ id)))
+
+let events_of ctx ~user =
+  App_util.list_user_files ctx ~user ~sub:"calendar"
+  |> List.filter_map (fun id ->
+         match Syscall.read_file_taint ctx (event_path user id) with
+         | Error _ -> None
+         | Ok data -> (
+             match Record.decode data with
+             | Error _ -> None
+             | Ok r -> Some (id, r)))
+
+let day_names = [| "mon"; "tue"; "wed"; "thu"; "fri"; "sat"; "sun" |]
+
+let week_view ctx ~user =
+  let events = events_of ctx ~user in
+  let rows =
+    List.init 7 (fun day ->
+        let todays =
+          List.filter (fun (_, r) -> Record.get_int r "day" = Some day) events
+          |> List.sort (fun (_, r1) (_, r2) ->
+                 compare (Record.get_int r1 "start") (Record.get_int r2 "start"))
+        in
+        let cells =
+          List.map
+            (fun (_, r) ->
+              let start = Option.value (Record.get_int r "start") ~default:0 in
+              let len = max 1 (Option.value (Record.get_int r "len") ~default:1) in
+              (* the slot is public to whoever may see the page; the
+                 title is a marked sensitive span *)
+              Printf.sprintf "%02d:00-%02d:00 %s" start (start + len)
+                (Declassifier.secret_span
+                   (Html.text (Record.get_or r "title" ~default:"(untitled)"))))
+            todays
+        in
+        Html.element "li"
+          (Html.element "b" day_names.(day)
+          ^
+          if cells = [] then " free"
+          else " " ^ String.concat "; " cells))
+  in
+  App_util.respond_page ctx
+    ~title:(user ^ "'s week")
+    (Html.element "ul" (String.concat "" rows))
+
+let handler ctx (env : App_registry.env) =
+  let request = env.App_registry.request in
+  match Request.param_or request "action" ~default:"week" with
+  | "add" -> (
+      match App_util.viewer_or_respond ctx env with
+      | None -> ()
+      | Some viewer -> (
+          let param_int key =
+            Option.bind (Request.param request key) int_of_string_opt
+          in
+          match
+            ( Request.param request "id",
+              Request.param request "title",
+              param_int "day",
+              param_int "start",
+              param_int "len" )
+          with
+          | Some id, Some title, Some day, Some start, Some len
+            when day >= 0 && day < 7 ->
+              add_event ctx env ~viewer ~id ~title ~day ~start ~len
+          | _ ->
+              App_util.respond_error ctx
+                "id, title, day (0-6), start and len required"))
+  | "week" -> (
+      match (Request.param request "user", env.App_registry.viewer) with
+      | Some user, _ | None, Some user -> week_view ctx ~user
+      | None, None -> App_util.respond_error ctx "user required")
+  | other -> App_util.respond_error ctx ("unknown action: " ^ other)
+
+let publish platform ~dev =
+  App_registry.publish
+    (Platform.registry platform)
+    ~dev ~name:app_name ~version:"1.0"
+    ~source:
+      (App_registry.Open_source
+         "calendar_app.ml: week view with times in the clear and titles \
+          in sensitive spans — busy/free sharing via a redacting \
+          declassifier")
+    handler

@@ -1,0 +1,24 @@
+(** A calendar with busy/free sharing — an "idiosyncratic" policy
+    (§3.1) built from stock parts.
+
+    Events live under [/users/<u>/calendar/<id>]. The week view prints
+    each event's time slot in the clear but wraps the {e title} in the
+    platform's sensitive-span markers. The owner sees everything (the
+    perimeter never routes an owner's data through declassifiers); a
+    friend whose export passes through
+    [Declassifier.redacting friends_only] sees when the owner is busy
+    but not why. No calendar-specific code exists in the declassifier,
+    and no declassifier-specific code beyond the marker helper exists
+    in the calendar.
+
+    Routes:
+    - [POST action=add&id=I&title=T&day=D&start=H&len=N] (write
+      delegation; day 0-6, hours 0-23)
+    - [?action=week&user=U] — the week view *)
+
+val app_name : string
+val handler : W5_platform.App_registry.handler
+
+val publish :
+  W5_platform.Platform.t -> dev:W5_difc.Principal.t ->
+  (W5_platform.App_registry.app, string) result

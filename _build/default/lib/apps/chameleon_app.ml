@@ -1,0 +1,81 @@
+open W5_os
+open W5_store
+open W5_http
+open W5_platform
+
+let app_name = "chameleon"
+let rules_file = "chameleon_rules"
+
+let hidden_for rules ~field ~viewer =
+  match viewer with
+  | None -> true (* unknown viewers get the most conservative page *)
+  | Some v -> List.mem v (Record.get_list rules ("hide_" ^ field))
+
+let render ctx env ~user =
+  match App_util.read_record ctx ~user ~file:"profile" with
+  | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+  | Ok profile ->
+      let rules =
+        match App_util.read_record ctx ~user ~file:rules_file with
+        | Error _ -> Record.empty
+        | Ok r -> r
+      in
+      let viewer = env.App_registry.viewer in
+      let visible =
+        List.filter
+          (fun (field, _) -> not (hidden_for rules ~field ~viewer))
+          (Record.fields profile)
+      in
+      App_util.respond_page ctx
+        ~title:(user ^ " (chameleon)")
+        (Html.ul
+           (List.map
+              (fun (k, v) -> Html.element "b" (Html.text k) ^ ": " ^ Html.text v)
+              visible))
+
+let hide ctx env ~viewer ~field ~from_list =
+  if not (App_util.endorse_write ctx env ~user:viewer) then
+    App_util.respond_error ctx "write not delegated to this app"
+  else
+    let rules =
+      match App_util.read_record ctx ~user:viewer ~file:rules_file with
+      | Error _ -> Record.empty
+      | Ok r -> r
+    in
+    let rules = Record.set rules ("hide_" ^ field) from_list in
+    match App_util.user_data_labels ctx ~user:viewer with
+    | None -> App_util.respond_error ctx "cannot determine labels"
+    | Some labels -> (
+        match
+          App_util.write_record ctx ~user:viewer ~file:rules_file ~labels rules
+        with
+        | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+        | Ok () ->
+            App_util.respond_page ctx ~title:"chameleon"
+              (Html.text ("hiding " ^ field)))
+
+let handler ctx (env : App_registry.env) =
+  let request = env.App_registry.request in
+  match Request.param_or request "action" ~default:"view" with
+  | "view" -> (
+      match (Request.param request "user", env.App_registry.viewer) with
+      | Some user, _ | None, Some user -> render ctx env ~user
+      | None, None -> App_util.respond_error ctx "user required")
+  | "hide" -> (
+      match App_util.viewer_or_respond ctx env with
+      | None -> ()
+      | Some viewer -> (
+          match (Request.param request "field", Request.param request "from")
+          with
+          | Some field, Some from_list -> hide ctx env ~viewer ~field ~from_list
+          | _ -> App_util.respond_error ctx "field and from required"))
+  | other -> App_util.respond_error ctx ("unknown action: " ^ other)
+
+let publish platform ~dev =
+  App_registry.publish
+    (Platform.registry platform)
+    ~dev ~name:app_name ~version:"1.0"
+    ~source:
+      (App_registry.Open_source
+         "chameleon_app.ml: viewer-dependent profile filtered server-side")
+    handler

@@ -1,0 +1,21 @@
+(** The "chameleon" profile display (§2 "Examples"): a profile page
+    that adjusts its output based on the viewer — "to hide his
+    penchant for Sci-Fi novels from love interests".
+
+    The owner stores hiding rules under [chameleon_rules]:
+    [hide_<field> = v1,v2,…] means field [<field>] is omitted when the
+    viewer appears in that list. The filtering happens {e server-side,
+    before export}: the hidden field never crosses the perimeter for
+    those viewers, which no client-side trick can guarantee.
+
+    Routes:
+    - [?user=U] — render U's profile, filtered for the viewer
+    - [POST action=hide&field=F&from=v1,v2] (write delegation) *)
+
+val app_name : string
+val rules_file : string
+val handler : W5_platform.App_registry.handler
+
+val publish :
+  W5_platform.Platform.t -> dev:W5_difc.Principal.t ->
+  (W5_platform.App_registry.app, string) result

@@ -1,0 +1,113 @@
+open W5_os
+open W5_store
+open W5_http
+open W5_platform
+
+let app_name = "dating"
+let metric_file = "dating_metric"
+
+let parse_metric s =
+  if s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.filter_map (fun pair ->
+           match String.index_opt pair ':' with
+           | None -> Some (pair, 1)
+           | Some i -> (
+               let interest = String.sub pair 0 i in
+               let weight =
+                 String.sub pair (i + 1) (String.length pair - i - 1)
+               in
+               match int_of_string_opt weight with
+               | Some w -> Some (interest, w)
+               | None -> None))
+
+let compatibility metric ~interests =
+  List.fold_left
+    (fun acc (interest, weight) ->
+      if List.mem interest interests then acc + weight else acc)
+    0 metric
+
+let set_metric ctx env ~viewer ~metric =
+  if not (App_util.endorse_write ctx env ~user:viewer) then
+    App_util.respond_error ctx "write not delegated to this app"
+  else
+    match App_util.user_data_labels ctx ~user:viewer with
+    | None -> App_util.respond_error ctx "cannot determine labels"
+    | Some labels -> (
+        match
+          App_util.write_record ctx ~user:viewer ~file:metric_file ~labels
+            (Record.of_fields [ ("metric", metric) ])
+        with
+        | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+        | Ok () ->
+            App_util.respond_page ctx ~title:"metric" (Html.text "metric saved"))
+
+let all_users ctx =
+  match Syscall.readdir ctx "/users" with Ok users -> users | Error _ -> []
+
+let matches ctx ~viewer ~k =
+  let metric =
+    match App_util.read_record ctx ~user:viewer ~file:metric_file with
+    | Error _ -> []
+    | Ok r -> parse_metric (Record.get_or r "metric" ~default:"")
+  in
+  if metric = [] then
+    App_util.respond_error ctx "set a compatibility metric first"
+  else begin
+    let candidates =
+      all_users ctx
+      |> List.filter (fun u -> u <> viewer)
+      |> List.filter_map (fun u ->
+             match App_util.read_record ctx ~user:u ~file:"profile" with
+             | Error _ -> None
+             | Ok profile ->
+                 let interests = Record.get_list profile "interests" in
+                 if interests = [] then None
+                 else Some (u, compatibility metric ~interests))
+    in
+    let ranked =
+      List.sort
+        (fun (u1, s1) (u2, s2) ->
+          match Int.compare s2 s1 with
+          | 0 -> String.compare u1 u2
+          | c -> c)
+        candidates
+    in
+    let top = List.filteri (fun i _ -> i < k) ranked in
+    App_util.respond_page ctx ~title:"matches"
+      (Html.ul
+         (List.map
+            (fun (u, s) -> Html.text (Printf.sprintf "%s (score %d)" u s))
+            top))
+  end
+
+let handler ctx (env : App_registry.env) =
+  let request = env.App_registry.request in
+  match App_util.viewer_or_respond ctx env with
+  | None -> ()
+  | Some viewer -> (
+      match Request.param_or request "action" ~default:"match" with
+      | "set_metric" -> (
+          match Request.param request "metric" with
+          | Some metric -> set_metric ctx env ~viewer ~metric
+          | None -> App_util.respond_error ctx "metric required")
+      | "match" ->
+          let k =
+            match int_of_string_opt (Request.param_or request "k" ~default:"3")
+            with
+            | Some n when n > 0 -> n
+            | Some _ | None -> 3
+          in
+          matches ctx ~viewer ~k
+      | other -> App_util.respond_error ctx ("unknown action: " ^ other))
+
+let publish platform ~dev =
+  App_registry.publish
+    (Platform.registry platform)
+    ~dev ~name:app_name ~version:"1.0"
+    ~source:
+      (App_registry.Open_source
+         "dating_app.ml: user-supplied compatibility metric over all \
+          participants' profiles")
+    handler

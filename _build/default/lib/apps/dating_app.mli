@@ -1,0 +1,25 @@
+(** Online dating with a user-supplied compatibility metric (§2
+    "Examples": "Bob can upload a custom compatibility metric").
+
+    Every participant stores an [interests] field in their profile and
+    opts in by enabling the app. The viewer stores a metric — a list
+    of [interest:weight] pairs — under their own data; matching scans
+    all participants' profiles (tainting the process with everyone's
+    tags) and scores candidates by the summed weights of shared
+    interests. Exporting the match list to the viewer requires every
+    scanned participant's declassifier to approve — in practice
+    participants authorize a "daters" group declassifier when joining.
+
+    Routes:
+    - [POST action=set_metric&metric=a:3,b:1]
+    - [?action=match&k=N] *)
+
+val app_name : string
+val handler : W5_platform.App_registry.handler
+
+val parse_metric : string -> (string * int) list
+val compatibility : (string * int) list -> interests:string list -> int
+
+val publish :
+  W5_platform.Platform.t -> dev:W5_difc.Principal.t ->
+  (W5_platform.App_registry.app, string) result

@@ -1,0 +1,123 @@
+open W5_difc
+open W5_os
+open W5_store
+open W5_http
+open W5_platform
+
+let app_name = "groups"
+
+let wall platform ctx ~group_name =
+  match Group.find platform ~name:group_name with
+  | None -> App_util.respond_error ctx ("no such group: " ^ group_name)
+  | Some group -> (
+      let dir = Group.dir group in
+      match Syscall.stat ctx dir with
+      | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+      | Ok st -> (
+          (* absorbing the group label needs the member capability the
+             gateway granted us — non-members fail right here *)
+          match Syscall.add_taint ctx st.Fs.labels.Flow.secrecy with
+          | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+          | Ok () -> (
+              match Syscall.readdir ctx dir with
+              | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+              | Ok ids ->
+                  let posts =
+                    List.filter_map
+                      (fun id ->
+                        match Syscall.read_file_taint ctx (dir ^ "/" ^ id) with
+                        | Error _ -> None
+                        | Ok data -> (
+                            match Record.decode data with
+                            | Error _ -> None
+                            | Ok r ->
+                                Some
+                                  (Html.element "b"
+                                     (Html.text
+                                        (Record.get_or r "author" ~default:"?"))
+                                  ^ ": "
+                                  ^ Html.text
+                                      (Record.get_or r "body" ~default:""))))
+                      ids
+                  in
+                  App_util.respond_page ctx
+                    ~title:("wall: " ^ group_name)
+                    (Html.ul posts))))
+
+let post platform ctx ~viewer ~group_name ~id ~body =
+  match Group.find platform ~name:group_name with
+  | None -> App_util.respond_error ctx ("no such group: " ^ group_name)
+  | Some group ->
+      if not (Group.is_member group ~user:viewer) then
+        App_util.respond_error ctx "not a member"
+      else begin
+        (* raise to the group label, then write into the group dir *)
+        let labels =
+          Flow.make ~secrecy:(Label.singleton (Group.tag group)) ()
+        in
+        match Syscall.add_taint ctx labels.Flow.secrecy with
+        | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+        | Ok () -> (
+            let path = Group.dir group ^ "/" ^ id in
+            let data =
+              Record.encode
+                (Record.of_fields [ ("author", viewer); ("body", body) ])
+            in
+            let result =
+              if Syscall.file_exists ctx path then
+                Syscall.write_file ctx path ~data
+              else Syscall.create_file ctx path ~labels ~data
+            in
+            match result with
+            | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+            | Ok () ->
+                App_util.respond_page ctx ~title:"posted"
+                  (Html.text ("posted to " ^ group_name)))
+      end
+
+let my_groups platform ctx ~viewer =
+  let mine =
+    Capability.Set.to_list (Group.member_caps platform ~user:viewer)
+    |> List.filter_map (fun cap ->
+           let tag = Capability.tag cap in
+           let name = Tag.name tag in
+           let prefix = "group:" in
+           if String.length name > String.length prefix then
+             Some (String.sub name (String.length prefix)
+                     (String.length name - String.length prefix))
+           else None)
+    |> List.sort_uniq String.compare
+  in
+  App_util.respond_page ctx ~title:"my groups" (Html.ul (List.map Html.text mine))
+
+let handler_with platform ctx (env : App_registry.env) =
+  let request = env.App_registry.request in
+  match App_util.viewer_or_respond ctx env with
+  | None -> ()
+  | Some viewer -> (
+      match Request.param_or request "action" ~default:"mine" with
+      | "wall" -> (
+          match Request.param request "group" with
+          | Some group_name -> wall platform ctx ~group_name
+          | None -> App_util.respond_error ctx "group required")
+      | "post" -> (
+          match
+            ( Request.param request "group",
+              Request.param request "id",
+              Request.param request "body" )
+          with
+          | Some group_name, Some id, Some body ->
+              post platform ctx ~viewer ~group_name ~id ~body
+          | _ -> App_util.respond_error ctx "group, id and body required")
+      | "mine" -> my_groups platform ctx ~viewer
+      | other -> App_util.respond_error ctx ("unknown action: " ^ other))
+
+let publish platform ~dev =
+  App_registry.publish
+    (Platform.registry platform)
+    ~dev ~name:app_name ~version:"1.0"
+    ~source:
+      (App_registry.Open_source
+         "group_app.ml: renders circle walls; membership capabilities \
+          and the group declassifier do all the enforcing")
+    (handler_with platform)

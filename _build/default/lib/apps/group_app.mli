@@ -1,0 +1,21 @@
+(** The groups application: circle walls over HTTP.
+
+    Thin developer-side code over {!W5_platform.Group}: the gateway
+    already equips member processes with the group's read capability,
+    the group directory's restricted label keeps non-members out at
+    the read, and the group's own declassifier gates the export. The
+    app just renders.
+
+    Routes:
+    - [?action=wall&group=G] — the group's posts (members only, both
+      at read and export)
+    - [POST action=post&group=G&id=I&body=B] — post to the wall
+      (members only)
+    - [GET] — the groups the viewer belongs to *)
+
+val app_name : string
+val handler_with : W5_platform.Platform.t -> W5_platform.App_registry.handler
+
+val publish :
+  W5_platform.Platform.t -> dev:W5_difc.Principal.t ->
+  (W5_platform.App_registry.app, string) result

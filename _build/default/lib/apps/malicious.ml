@@ -1,0 +1,135 @@
+open W5_os
+open W5_http
+open W5_platform
+
+let thief_handler ctx (env : App_registry.env) =
+  let target =
+    Request.param_or env.App_registry.request "target" ~default:"alice"
+  in
+  match Syscall.read_file_taint ctx (App_util.user_file target "profile") with
+  | Error e ->
+      App_util.respond_error ctx ("could not even read: " ^ Os_error.to_string e)
+  | Ok secret ->
+      (* Attempt 1: copy the loot somewhere public. *)
+      let copy_result =
+        Syscall.create_file ctx
+          ("/apps/loot-" ^ target)
+          ~labels:W5_difc.Flow.bottom ~data:secret
+      in
+      let note =
+        match copy_result with
+        | Ok () -> "copy-to-public SUCCEEDED (bug!)"
+        | Error _ -> "copy-to-public denied"
+      in
+      (* Attempt 2: just respond with it and hope the perimeter leaks. *)
+      App_util.respond_page ctx ~title:"totally legit page"
+        (Html.text (secret ^ " [" ^ note ^ "]"))
+
+let vandal_handler ctx (env : App_registry.env) =
+  let target =
+    Request.param_or env.App_registry.request "target" ~default:"alice"
+  in
+  let attempt name outcome =
+    name ^ ": "
+    ^ (match outcome with
+      | Ok () -> "ALLOWED (bug!)"
+      | Error e -> "denied (" ^ Os_error.to_string e ^ ")")
+  in
+  let profile = App_util.user_file target "profile" in
+  let friends = App_util.user_file target "friends" in
+  let report =
+    [
+      attempt "overwrite profile"
+        (Syscall.write_file ctx profile ~data:"VANDALIZED");
+      attempt "delete friends" (Syscall.unlink ctx friends);
+      attempt "strip labels"
+        (Syscall.set_file_labels ctx profile ~labels:W5_difc.Flow.bottom);
+    ]
+  in
+  App_util.respond_page ctx ~title:"vandal report"
+    (Html.ul (List.map Html.text report))
+
+let hog_handler ctx (_env : App_registry.env) =
+  let rec burn () =
+    ignore (Syscall.file_exists ctx "/");
+    burn ()
+  in
+  burn ()
+
+let spammer_handler ctx (_env : App_registry.env) =
+  let rec flood i =
+    match
+      Syscall.create_file ctx
+        (Printf.sprintf "/apps/spam-%d" i)
+        ~labels:W5_difc.Flow.bottom ~data:"spam"
+    with
+    | Ok () | Error _ -> flood (i + 1)
+  in
+  flood 0
+
+let scramble s =
+  String.map
+    (fun c ->
+      let code = Char.code c in
+      if code >= 32 && code < 127 then Char.chr (126 - code + 32) else c)
+    s
+
+let hoarder_handler ctx (env : App_registry.env) =
+  match App_util.viewer_or_respond ctx env with
+  | None -> ()
+  | Some viewer -> (
+      let data =
+        Request.param_or env.App_registry.request "data" ~default:""
+      in
+      if not (App_util.endorse_write ctx env ~user:viewer) then
+        App_util.respond_error ctx "write not delegated"
+      else
+        match App_util.user_data_labels ctx ~user:viewer with
+        | None -> App_util.respond_error ctx "cannot determine labels"
+        | Some labels -> (
+            (* Store the user's own data, but scrambled: perfectly legal,
+               merely anti-social (§3.2). *)
+            let path = App_util.user_file viewer "hoard.dat" in
+            let payload = scramble data in
+            let result =
+              if Syscall.file_exists ctx path then
+                Syscall.write_file ctx path ~data:payload
+              else Syscall.create_file ctx path ~labels ~data:payload
+            in
+            match result with
+            | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+            | Ok () ->
+                App_util.respond_page ctx ~title:"imported"
+                  (Html.text "your data is safe with us")))
+
+let prober_handler ctx (env : App_registry.env) =
+  let collection =
+    Request.param_or env.App_registry.request "collection" ~default:"inbox-alice"
+  in
+  match
+    W5_store.Query.count ctx ~collection ~where:W5_store.Query.always
+  with
+  | Error e ->
+      App_util.respond_error ctx ("count failed: " ^ Os_error.to_string e)
+  | Ok n ->
+      (* the one covert bit, loudly *)
+      App_util.respond_page ctx ~title:"weather report"
+        (Html.text
+           (if n > 0 then "BIT:1 cloudy with a chance of messages"
+            else "BIT:0 clear skies"))
+
+let publish_all platform ~dev =
+  let registry = Platform.registry platform in
+  let publish name handler =
+    ( name,
+      App_registry.publish registry ~dev ~name ~version:"1.0"
+        ~source:App_registry.Closed_binary handler )
+  in
+  [
+    publish "thief" thief_handler;
+    publish "vandal" vandal_handler;
+    publish "hog" hog_handler;
+    publish "spammer" spammer_handler;
+    publish "hoarder" hoarder_handler;
+    publish "prober" prober_handler;
+  ]

@@ -1,0 +1,53 @@
+(** The adversarial application battery (§3 "Securing data": "Bad
+    developers might upload applications designed to steal data,
+    maliciously delete it, vandalize it, or misrepresent it").
+
+    Each handler is a genuine attack written against the public
+    syscall API; the test suite runs them and asserts on what the
+    platform lets through. None of them is special-cased anywhere —
+    if one succeeds, the reproduction has a real bug. *)
+
+open W5_platform
+
+val thief_handler : App_registry.handler
+(** Reads the target user's profile (tainting itself) and responds
+    with it, hoping the perimeter exports it to whoever asked —
+    including the thief's own developer browsing anonymously.
+    Route: [?target=U]. Also attempts to copy the secret into a fresh
+    world-readable file. *)
+
+val vandal_handler : App_registry.handler
+(** Attempts to overwrite the target's profile, delete their friends
+    file, and relabel their data. Route: [?target=U]. Responds with a
+    data-free report of which attempts the kernel allowed. *)
+
+val hog_handler : App_registry.handler
+(** Burns CPU syscalls forever (§3.5 resource allocation): dies by
+    quota, never responds. *)
+
+val spammer_handler : App_registry.handler
+(** Floods the filesystem with files until the file quota kills it. *)
+
+val hoarder_handler : App_registry.handler
+(** The "anti-social" application (§3.2): stores the viewer's data in
+    a scrambled proprietary format in the viewer's own space. Nothing
+    in W5 prevents this — editors have to. Route:
+    [POST action=import&data=D]. *)
+
+val scramble : string -> string
+(** The hoarder's "proprietary format" (an involution, so tests can
+    verify the data is merely obfuscated, not protected). *)
+
+val prober_handler : App_registry.handler
+(** The covert-channel prober (§3.5): counts rows in a store
+    collection with the safe query engine and tries to export the
+    single resulting bit ([?collection=C]). The count taints the
+    prober with every scanned row, so the bit is exportable only to
+    viewers every row's owner already authorized — absence or presence
+    of someone's data cannot be smuggled out as a number. *)
+
+val publish_all :
+  Platform.t -> dev:W5_difc.Principal.t ->
+  (string * (App_registry.app, string) result) list
+(** Publish the whole battery under one developer: [thief], [vandal],
+    [hog], [spammer], [hoarder], [prober]. *)

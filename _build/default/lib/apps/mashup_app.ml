@@ -1,0 +1,164 @@
+open W5_difc
+open W5_os
+open W5_store
+open W5_http
+open W5_platform
+
+let app_name = "mashup"
+let map_slot = "map.render"
+let book_file = "addressbook"
+
+let geocode street =
+  let h = Hashtbl.hash street in
+  (h mod 40, h / 40 mod 12)
+
+let add_entry ctx env ~viewer ~name ~street =
+  if not (App_util.endorse_write ctx env ~user:viewer) then
+    App_util.respond_error ctx "write not delegated to this app"
+  else
+    let book =
+      match App_util.read_record ctx ~user:viewer ~file:book_file with
+      | Error _ -> Record.empty
+      | Ok r -> r
+    in
+    let entries = Record.get_list book "entries" in
+    let entry = name ^ ":" ^ street in
+    let book =
+      Record.set_list book "entries"
+        (if List.mem entry entries then entries else entries @ [ entry ])
+    in
+    match App_util.user_data_labels ctx ~user:viewer with
+    | None -> App_util.respond_error ctx "cannot determine labels"
+    | Some labels -> (
+        match
+          App_util.write_record ctx ~user:viewer ~file:book_file ~labels book
+        with
+        | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+        | Ok () ->
+            App_util.respond_page ctx ~title:"addressbook"
+              (Html.text ("added " ^ name)))
+
+let render_map ctx env ~viewer =
+  match App_util.read_record ctx ~user:viewer ~file:book_file with
+  | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+  | Ok book -> (
+      let entries =
+        Record.get_list book "entries"
+        |> List.filter_map (fun entry ->
+               match String.index_opt entry ':' with
+               | None -> None
+               | Some i ->
+                   let name = String.sub entry 0 i in
+                   let street =
+                     String.sub entry (i + 1) (String.length entry - i - 1)
+                   in
+                   Some (name, street))
+      in
+      let markers =
+        List.map
+          (fun (name, street) ->
+            let x, y = geocode street in
+            Printf.sprintf "%s@%d,%d" name x y)
+          entries
+      in
+      let addresses =
+        String.concat ";" (List.map (fun (_, street) -> street) entries)
+      in
+      let module_id =
+        Option.value
+          (env.App_registry.module_for_slot map_slot)
+          ~default:"gmaps/render"
+      in
+      let sub =
+        Request.make Request.GET
+          (Uri.with_query "/render"
+             [ ("markers", String.concat ";" markers); ("addresses", addresses) ])
+      in
+      match env.App_registry.run_module ctx ~module_id sub with
+      | Error e -> App_util.respond_error ctx ("map module failed: " ^ e)
+      | Ok map ->
+          App_util.respond_page ctx
+            ~title:(viewer ^ "'s map")
+            (Html.element "pre" (Html.text map)))
+
+let handler ctx (env : App_registry.env) =
+  let request = env.App_registry.request in
+  match App_util.viewer_or_respond ctx env with
+  | None -> ()
+  | Some viewer -> (
+      match Request.param_or request "action" ~default:"map" with
+      | "add" -> (
+          match (Request.param request "name", Request.param request "street")
+          with
+          | Some name, Some street -> add_entry ctx env ~viewer ~name ~street
+          | _ -> App_util.respond_error ctx "name and street required")
+      | "map" -> render_map ctx env ~viewer
+      | other -> App_util.respond_error ctx ("unknown action: " ^ other))
+
+let publish platform ~dev =
+  App_registry.publish
+    (Platform.registry platform)
+    ~dev ~name:app_name ~version:"1.0"
+    ~source:
+      (App_registry.Open_source
+         "mashup_app.ml: address book + map rendered entirely inside \
+          the perimeter")
+    ~imports:[ "gmaps/render" ] handler
+
+(* The map renderer: draws a 40x12 character grid with markers. The
+   evil variant also copies the addresses it was shown into its
+   developer's scratch space — staging for exfiltration. *)
+let render_grid markers =
+  let width = 40 and height = 12 in
+  let grid = Array.make_matrix height width '.' in
+  List.iter
+    (fun marker ->
+      match String.index_opt marker '@' with
+      | None -> ()
+      | Some i -> (
+          let coords =
+            String.sub marker (i + 1) (String.length marker - i - 1)
+          in
+          match String.split_on_char ',' coords with
+          | [ x; y ] -> (
+              match (int_of_string_opt x, int_of_string_opt y) with
+              | Some x, Some y when x >= 0 && x < width && y >= 0 && y < height
+                ->
+                  grid.(y).(x) <- '*'
+              | _ -> ())
+          | _ -> ()))
+    markers;
+  String.concat "\n"
+    (Array.to_list (Array.map (fun row -> String.init width (Array.get row)) grid))
+
+let map_handler ~evil ~dev_name ctx (env : App_registry.env) =
+  let request = env.App_registry.request in
+  let markers =
+    String.split_on_char ';' (Request.param_or request "markers" ~default:"")
+  in
+  if evil then begin
+    (* Stash what we saw. The write succeeds — the data is still inside
+       the perimeter — but the stash inherits our taint, so the
+       developer can never export it. *)
+    let addresses = Request.param_or request "addresses" ~default:"" in
+    let stash = "/apps/" ^ dev_name ^ "/stash" in
+    let labels = Syscall.my_labels ctx in
+    (match Syscall.mkdir ctx ("/apps/" ^ dev_name) ~labels with
+    | Ok () | Error _ -> ());
+    (match Syscall.append_file ctx stash ~data:(addresses ^ "\n") with
+    | Ok () -> ()
+    | Error _ -> (
+        match Syscall.create_file ctx stash ~labels ~data:(addresses ^ "\n") with
+        | Ok () | Error _ -> ()))
+  end;
+  ignore (Syscall.respond ctx (render_grid markers))
+
+let publish_map_module platform ~dev ~name ~evil =
+  App_registry.publish
+    (Platform.registry platform)
+    ~dev ~name ~version:"1.0"
+    ~source:
+      (App_registry.Open_source
+         (if evil then "map renderer (stashes addresses it sees)"
+          else "map renderer: pure grid drawing"))
+    (map_handler ~evil ~dev_name:(Principal.name dev))

@@ -1,0 +1,41 @@
+(** The server-side mashup from §4: a private address book rendered on
+    a map, {e without} revealing the addresses to the map's developer.
+
+    The paper's comparison: a client-side mashup ships the address
+    book page to the map provider's API; MashupOS can hide the names
+    but "cannot stop the transmission of the addresses back to
+    Google's servers". On W5 the map renderer is just another module
+    executed inside the perimeter — it sees the addresses (taints
+    itself with the viewer's tag) but has no way to export them.
+
+    The address book lives at [/users/<u>/addressbook]
+    ([entries = name:street,…]). Geocoding is a deterministic hash of
+    the street string. The map module (slot ["map.render"], default
+    ["gmaps/render"]) receives marker coordinates {e and} raw
+    addresses — deliberately more than it needs — and returns ASCII
+    map art.
+
+    Routes:
+    - [GET] — render the viewer's address book on a map
+    - [POST action=add&name=N&street=S] (write delegation) *)
+
+val app_name : string
+val map_slot : string
+val handler : W5_platform.App_registry.handler
+
+val publish :
+  W5_platform.Platform.t -> dev:W5_difc.Principal.t ->
+  (W5_platform.App_registry.app, string) result
+
+val publish_map_module :
+  W5_platform.Platform.t -> dev:W5_difc.Principal.t -> name:string ->
+  evil:bool -> (W5_platform.App_registry.app, string) result
+(** [evil:true] publishes a renderer that also tries to stash every
+    address it sees into its developer's scratch directory — the
+    exfiltration staging today's web cannot prevent. On W5 the stash
+    attempt is {e denied by the kernel}: a process tainted with the
+    viewer's tag cannot write into an untainted directory at all
+    (exercised by tests, which assert both the denial and that the map
+    still renders). *)
+
+val geocode : string -> int * int

@@ -1,0 +1,27 @@
+(** Private messaging over the labeled object store.
+
+    Demonstrates the §3.5 database story at the application layer:
+    message objects live in a shared collection per recipient and are
+    listed through the covert-channel-safe {!W5_store.Query} engine —
+    the inbox view taints the reader with every row scanned, so even a
+    hostile inbox UI cannot signal the presence of messages it was not
+    supposed to surface.
+
+    A message from A to B is labeled with {e both} users' secrecy tags
+    (it is A's words about B's correspondence): reading it is free for
+    any app, exporting it to B's browser needs A's declassifier (and
+    vice versa) — typically the senders install a [correspondents]
+    group or [friends_only] declassifier.
+
+    Routes:
+    - [POST action=send&to=U&body=B]
+    - [?action=inbox] — the viewer's messages (safe query)
+    - [?action=from&sender=U] — filter by sender *)
+
+val app_name : string
+val inbox_collection : string -> string
+val handler : W5_platform.App_registry.handler
+
+val publish :
+  W5_platform.Platform.t -> dev:W5_difc.Principal.t ->
+  (W5_platform.App_registry.app, string) result

@@ -1,0 +1,162 @@
+open W5_os
+open W5_http
+open W5_platform
+
+let app_name = "photos"
+let crop_slot = "photo.crop"
+let photos_dir user = App_util.user_file user "photos"
+let photo_path user id = photos_dir user ^ "/" ^ id
+
+let data_labels = App_util.user_data_labels
+
+let upload ctx env ~viewer ~id ~data =
+  if not (App_util.endorse_write ctx env ~user:viewer) then
+    App_util.respond_error ctx "write not delegated to this app"
+  else
+    match data_labels ctx ~user:viewer with
+    | None -> App_util.respond_error ctx "cannot determine labels"
+    | Some labels -> (
+        (match Syscall.mkdir ctx (photos_dir viewer) ~labels with
+        | Ok () | Error (Os_error.Already_exists _) -> ()
+        | Error e -> App_util.respond_error ctx (Os_error.to_string e));
+        let path = photo_path viewer id in
+        let result =
+          if Syscall.file_exists ctx path then
+            Syscall.write_file ctx path ~data
+          else Syscall.create_file ctx path ~labels ~data
+        in
+        match result with
+        | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+        | Ok () ->
+            App_util.respond_page ctx ~title:"uploaded"
+              (Html.text ("stored photo " ^ id)))
+
+let view ctx env ~user ~id ~size =
+  match Syscall.read_file_taint ctx (photo_path user id) with
+  | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+  | Ok data -> (
+      let rendered =
+        match env.App_registry.module_for_slot crop_slot with
+        | None -> Ok data
+        | Some module_id ->
+            let sub =
+              Request.make Request.GET
+                (Uri.with_query "/crop" [ ("data", data); ("size", size) ])
+            in
+            env.App_registry.run_module ctx ~module_id sub
+      in
+      match rendered with
+      | Error e -> App_util.respond_error ctx ("crop module failed: " ^ e)
+      | Ok out ->
+          App_util.respond_page ctx
+            ~title:(user ^ "/" ^ id)
+            (Html.element "div"
+               ~attrs:[ ("class", "photo") ]
+               (Html.text out)))
+
+let delete ctx env ~viewer ~id =
+  if not (App_util.endorse_write ctx env ~user:viewer) then
+    App_util.respond_error ctx "write not delegated to this app"
+  else
+    match Syscall.unlink ctx (photo_path viewer id) with
+    | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+    | Ok () ->
+        App_util.respond_page ctx ~title:"deleted"
+          (Html.text ("deleted photo " ^ id))
+
+let list_photos ctx ~user =
+  let ids = App_util.list_user_files ctx ~user ~sub:"photos" in
+  App_util.respond_page ctx
+    ~title:(user ^ "'s photos")
+    (Html.ul (List.map Html.text ids))
+
+let handler ctx (env : App_registry.env) =
+  let request = env.App_registry.request in
+  match Request.param_or request "action" ~default:"list" with
+  | "upload" -> (
+      match App_util.viewer_or_respond ctx env with
+      | None -> ()
+      | Some viewer -> (
+          match (Request.param request "id", Request.param request "data") with
+          | Some id, Some data -> upload ctx env ~viewer ~id ~data
+          | _ -> App_util.respond_error ctx "id and data required"))
+  | "view" -> (
+      match (Request.param request "user", Request.param request "id") with
+      | Some user, Some id ->
+          view ctx env ~user ~id ~size:(Request.param_or request "size" ~default:"8")
+      | _ -> App_util.respond_error ctx "user and id required")
+  | "delete" -> (
+      match App_util.viewer_or_respond ctx env with
+      | None -> ()
+      | Some viewer -> (
+          match Request.param request "id" with
+          | Some id -> delete ctx env ~viewer ~id
+          | None -> App_util.respond_error ctx "id required"))
+  | "list" -> (
+      match
+        (Request.param request "user", env.App_registry.viewer)
+      with
+      | Some user, _ | None, Some user -> list_photos ctx ~user
+      | None, None -> App_util.respond_error ctx "user required")
+  | other -> App_util.respond_error ctx ("unknown action: " ^ other)
+
+(* The published handler additionally supports asynchronous
+   thumbnailing through the per-user worker service; the service
+   lookup needs the platform, so it is bound at publish time. *)
+let handler_with platform ctx (env : App_registry.env) =
+  let request = env.App_registry.request in
+  match Request.param_or request "action" ~default:"list" with
+  | "thumb" -> (
+      match App_util.viewer_or_respond ctx env with
+      | None -> ()
+      | Some viewer -> (
+          match Request.param request "id" with
+          | None -> App_util.respond_error ctx "id required"
+          | Some id -> (
+              match Thumb_service.request ctx platform ~user:viewer ~id with
+              | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+              | Ok () ->
+                  App_util.respond_page ctx ~title:"queued"
+                    (Html.text ("thumbnail queued for " ^ id)))))
+  | _ -> handler ctx env
+
+let publish platform ~dev =
+  App_registry.publish
+    (Platform.registry platform)
+    ~dev ~name:app_name ~version:"1.0"
+    ~source:
+      (App_registry.Open_source
+         "photo_app.ml: labeled photo storage; renders through the \
+          viewer's chosen crop module, run inline; thumbnails are \
+          delegated to the per-user worker over IPC.")
+    (handler_with platform)
+
+(* A crop module is itself an app: it reads [data] and [size] from its
+   request and responds with the transformation. *)
+let crop_handler style ctx (env : App_registry.env) =
+  let request = env.App_registry.request in
+  let data = Request.param_or request "data" ~default:"" in
+  let size =
+    match int_of_string_opt (Request.param_or request "size" ~default:"8") with
+    | Some n when n >= 0 -> n
+    | Some _ | None -> 8
+  in
+  let clamp n = min n (String.length data) in
+  let out =
+    match style with
+    | `Head -> String.sub data 0 (clamp size)
+    | `Tail ->
+        let n = clamp size in
+        String.sub data (String.length data - n) n
+    | `Frame -> "[[" ^ data ^ "]]"
+  in
+  ignore (Syscall.respond ctx out)
+
+let publish_crop_module platform ~dev ~name ~style =
+  App_registry.publish
+    (Platform.registry platform)
+    ~dev ~name ~version:"1.0"
+    ~source:
+      (App_registry.Open_source
+         ("crop module " ^ name ^ ": pure transformation of its input"))
+    ~imports:[] (crop_handler style)

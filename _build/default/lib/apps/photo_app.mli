@@ -1,0 +1,35 @@
+(** Photo sharing with user-chosen processing modules (§1, §2).
+
+    Photos are byte strings stored under [/users/<u>/photos/<id>],
+    labeled with the owner's tags. Rendering a photo pipes it through
+    the viewer's chosen module for the ["photo.crop"] slot — "Use
+    developer A's photo cropping module" — executed inline with
+    {!W5_platform.App_registry.env.run_module}.
+
+    Routes:
+    - [POST action=upload&id=I&data=D] — store a photo (write
+      delegation required)
+    - [?action=view&user=U&id=I&size=N] — render through the chosen
+      crop module
+    - [POST action=delete&id=I] — remove one's own photo (write
+      delegation; deletion is a write, §3.1)
+    - [POST action=thumb&id=I] — queue asynchronous thumbnailing on
+      the viewer's worker service (see {!Thumb_service})
+    - [?action=list&user=U] — list photo ids *)
+
+val app_name : string
+val crop_slot : string
+val handler : W5_platform.App_registry.handler
+
+val publish :
+  W5_platform.Platform.t -> dev:W5_difc.Principal.t ->
+  (W5_platform.App_registry.app, string) result
+
+val publish_crop_module :
+  W5_platform.Platform.t -> dev:W5_difc.Principal.t -> name:string ->
+  style:[ `Head | `Tail | `Frame ] ->
+  (W5_platform.App_registry.app, string) result
+(** Three competing crop modules from independent developers: keep the
+    head, keep the tail, or add a decorative frame. (Photos are byte
+    strings in the simulation; the styles are distinguishable so tests
+    can assert which module ran.) *)

@@ -1,0 +1,24 @@
+(** Polls whose tallies may circulate but whose ballots may not.
+
+    Votes are stored in the object store, labeled with the voter's
+    secrecy tag. Reading any view of the poll taints the process with
+    every scanned ballot (the safe query engine), so exporting a view
+    needs every voter's declassifier. Voters authorize
+    [Declassifier.require_no_secrets everyone]: since the app renders
+    raw ballots inside sensitive-span markers and tallies without
+    them, aggregates flow to anyone while ballot listings are vetoed —
+    a user-expressible policy today's Web cannot state at all (§1).
+
+    Routes:
+    - [POST action=vote&poll=P&choice=C] (one vote per user per poll,
+      later votes overwrite)
+    - [?action=tally&poll=P] — aggregate counts (exportable)
+    - [?action=ballots&poll=P] — raw votes (owner-eyes / vetoed) *)
+
+val app_name : string
+val collection : string -> string
+val handler : W5_platform.App_registry.handler
+
+val publish :
+  W5_platform.Platform.t -> dev:W5_difc.Principal.t ->
+  (W5_platform.App_registry.app, string) result

@@ -1,0 +1,83 @@
+open W5_os
+open W5_store
+open W5_http
+open W5_platform
+
+let app_name = "recommend"
+
+type item = {
+  owner : string;
+  kind : string;
+  item_id : string;
+  score : int;
+}
+
+(* Relevance, deliberately simple: longer content scores higher, blog
+   entries get a nudge. The paper's point is that the metric is the
+   developer's to choose — the platform doesn't care. *)
+let score ~kind ~content =
+  String.length content + if kind = "blog" then 10 else 0
+
+let collect ctx ~friend_name =
+  let of_sub ~sub ~kind =
+    App_util.list_user_files ctx ~user:friend_name ~sub
+    |> List.filter_map (fun item_id ->
+           let path = App_util.user_file friend_name (sub ^ "/" ^ item_id) in
+           match Syscall.read_file_taint ctx path with
+           | Error _ -> None
+           | Ok content ->
+               Some { owner = friend_name; kind; item_id; score = score ~kind ~content })
+  in
+  of_sub ~sub:"photos" ~kind:"photo" @ of_sub ~sub:"blog" ~kind:"blog"
+
+let digest ctx ~viewer ~k =
+  let friends = App_util.friends_of ctx ~user:viewer in
+  let items = List.concat_map (fun f -> collect ctx ~friend_name:f) friends in
+  let ranked =
+    List.sort
+      (fun a b ->
+        match Int.compare b.score a.score with
+        | 0 -> compare (a.owner, a.kind, a.item_id) (b.owner, b.kind, b.item_id)
+        | c -> c)
+      items
+  in
+  let top = List.filteri (fun i _ -> i < k) ranked in
+  let lines =
+    List.map
+      (fun it ->
+        Printf.sprintf "%s: %s/%s (score %d)" it.kind it.owner it.item_id
+          it.score)
+      top
+  in
+  App_util.respond_page ctx
+    ~title:("daily digest for " ^ viewer)
+    (Html.element "h1" (Html.text "Your top picks")
+    ^ Html.ul (List.map Html.text lines))
+
+let handler ctx (env : App_registry.env) =
+  match App_util.viewer_or_respond ctx env with
+  | None -> ()
+  | Some viewer ->
+      let k =
+        match
+          int_of_string_opt
+            (Request.param_or env.App_registry.request "k" ~default:"5")
+        with
+        | Some n when n > 0 -> n
+        | Some _ | None -> 5
+      in
+      digest ctx ~viewer ~k
+
+let publish platform ~dev =
+  App_registry.publish
+    (Platform.registry platform)
+    ~dev ~name:app_name ~version:"1.0"
+    ~source:
+      (App_registry.Open_source
+         "recommend_app.ml: scores friends' items, responds top-k; \
+          every friend's declassifier gates the export")
+    ~imports:[ "sdev/social" ] handler
+
+(* Referenced only to document the record dependency on the social
+   app's friends format. *)
+let _ = Record.empty

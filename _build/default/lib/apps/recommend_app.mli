@@ -1,0 +1,21 @@
+(** The recommendation engine over private data (§2 "Examples"):
+    "Bob can deploy an application that sends him daily e-mail with
+    the 5 most 'relevant' photos and blog entries posted by his
+    friends."
+
+    The app scans every friend's photos and blog entries — tainting
+    itself with all of their tags — scores each item with a trivial
+    relevance function, and responds with the top-k digest. The
+    perimeter then requires {e each} friend's declassifier to clear
+    the export to Bob: an arbitrary third-party engine gets to compute
+    over everyone's private data while nobody's privacy rests on its
+    good behaviour.
+
+    Routes: [?k=N] — top-N digest for the logged-in viewer. *)
+
+val app_name : string
+val handler : W5_platform.App_registry.handler
+
+val publish :
+  W5_platform.Platform.t -> dev:W5_difc.Principal.t ->
+  (W5_platform.App_registry.app, string) result

@@ -1,0 +1,47 @@
+type site = {
+  name : string;
+  tables : (string, (string * string) list ref) Hashtbl.t;
+}
+
+let create_site name = { name; tables = Hashtbl.create 32 }
+let site_name s = s.name
+
+let table s user =
+  match Hashtbl.find_opt s.tables user with
+  | Some t -> t
+  | None ->
+      let t = ref [] in
+      Hashtbl.replace s.tables user t;
+      t
+
+let set_data s ~user ~key ~value =
+  let t = table s user in
+  t := (key, value) :: List.remove_assoc key !t
+
+let get_data s ~user ~key =
+  Option.bind (Hashtbl.find_opt s.tables user) (fun t -> List.assoc_opt key !t)
+
+let users s =
+  Hashtbl.fold (fun user _ acc -> user :: acc) s.tables []
+  |> List.sort String.compare
+
+let data_of s ~user =
+  match Hashtbl.find_opt s.tables user with
+  | None -> []
+  | Some t -> List.rev !t
+
+let thief_export s ~user =
+  String.concat ";"
+    (List.map (fun (k, v) -> k ^ "=" ^ v) (data_of s ~user))
+
+let privacy_setting s ~user ~honored =
+  if honored then None else Some (thief_export s ~user)
+
+let migrate ~from_site ~to_site ~user =
+  let items = data_of from_site ~user in
+  List.iter (fun (key, value) -> set_data to_site ~user ~key ~value) items;
+  List.length items
+
+let duplication_factor sites ~user ~key =
+  List.length
+    (List.filter (fun s -> get_data s ~user ~key <> None) sites)

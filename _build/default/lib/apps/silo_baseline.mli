@@ -1,0 +1,40 @@
+(** "Today's Web sites" — the Figure 1 baseline.
+
+    A deliberately minimal model of the pre-W5 world: each site is a
+    silo that owns its users' data outright, with no enforcement
+    layer between application logic and the data. Used by the F1/F2
+    experiments to demonstrate, side by side with the W5 platform:
+
+    - a malicious (or merely greedy) application exports anything it
+      likes ({!thief_export} always succeeds);
+    - moving to a competitor means manually re-entering everything
+      ({!migrate} returns the re-upload count — the "barrier to
+      entry");
+    - the same preference typed into N sites is N copies
+      ({!duplication_factor}). *)
+
+type site
+
+val create_site : string -> site
+val site_name : site -> string
+
+val set_data : site -> user:string -> key:string -> value:string -> unit
+val get_data : site -> user:string -> key:string -> string option
+val users : site -> string list
+val data_of : site -> user:string -> (string * string) list
+
+val thief_export : site -> user:string -> string
+(** What a malicious app emails home: everything. There is no
+    mechanism to stop it — only trust. *)
+
+val privacy_setting : site -> user:string -> honored:bool -> string option
+(** Today's "privacy settings": the data is returned anyway when the
+    site chooses not to honor the checkbox ([honored:false]),
+    because nothing enforces it. [None] when honored. *)
+
+val migrate : from_site:site -> to_site:site -> user:string -> int
+(** Copy a user's data by "manual re-upload"; returns how many items
+    the user had to re-enter. *)
+
+val duplication_factor : site list -> user:string -> key:string -> int
+(** How many sites hold their own copy of the same datum. *)

@@ -1,0 +1,130 @@
+open W5_os
+open W5_store
+open W5_http
+open W5_platform
+
+let app_name = "social"
+
+let render_profile ctx ~user =
+  match App_util.read_record ctx ~user ~file:"profile" with
+  | Error e ->
+      App_util.respond_error ctx ("cannot load profile: " ^ Os_error.to_string e)
+  | Ok profile ->
+      let friends = App_util.friends_of ctx ~user in
+      let fields =
+        List.map
+          (fun (k, v) -> Html.element "b" (Html.text k) ^ ": " ^ Html.text v)
+          (Record.fields profile)
+      in
+      App_util.respond_page ctx
+        ~title:(user ^ "'s profile")
+        (Html.element "h1" (Html.text user)
+        ^ Html.ul fields
+        ^ Html.element "h2" (Html.text "friends")
+        ^ Html.ul (List.map Html.text friends))
+
+let add_friend ctx env ~viewer ~friend_name =
+  if not (App_util.endorse_write ctx env ~user:viewer) then
+    App_util.respond_error ctx "write not delegated to this app"
+  else
+    match App_util.read_record ctx ~user:viewer ~file:"friends" with
+    | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+    | Ok r -> (
+        let friends = Record.get_list r "friends" in
+        let friends =
+          if List.mem friend_name friends then friends
+          else friends @ [ friend_name ]
+        in
+        match
+          Syscall.write_file ctx
+            (App_util.user_file viewer "friends")
+            ~data:(Record.encode (Record.set_list r "friends" friends))
+        with
+        | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+        | Ok () ->
+            App_util.respond_page ctx ~title:"friends"
+              (Html.text ("now friends with " ^ friend_name)))
+
+let remove_friend ctx env ~viewer ~friend_name =
+  if not (App_util.endorse_write ctx env ~user:viewer) then
+    App_util.respond_error ctx "write not delegated to this app"
+  else
+    match App_util.read_record ctx ~user:viewer ~file:"friends" with
+    | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+    | Ok r -> (
+        let friends =
+          List.filter (( <> ) friend_name) (Record.get_list r "friends")
+        in
+        match
+          Syscall.write_file ctx
+            (App_util.user_file viewer "friends")
+            ~data:(Record.encode (Record.set_list r "friends" friends))
+        with
+        | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+        | Ok () ->
+            App_util.respond_page ctx ~title:"friends"
+              (Html.text ("no longer friends with " ^ friend_name)))
+
+let set_profile ctx env ~viewer ~field ~value =
+  if not (App_util.endorse_write ctx env ~user:viewer) then
+    App_util.respond_error ctx "write not delegated to this app"
+  else
+    match App_util.read_record ctx ~user:viewer ~file:"profile" with
+    | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+    | Ok r -> (
+        match
+          Syscall.write_file ctx
+            (App_util.user_file viewer "profile")
+            ~data:(Record.encode (Record.set r field value))
+        with
+        | Error e -> App_util.respond_error ctx (Os_error.to_string e)
+        | Ok () ->
+            App_util.respond_page ctx ~title:"profile"
+              (Html.text ("profile updated: " ^ field)))
+
+let handler ctx (env : App_registry.env) =
+  let request = env.App_registry.request in
+  match Request.param_or request "action" ~default:"view" with
+  | "view" -> (
+      let user =
+        match Request.param request "user" with
+        | Some u -> Some u
+        | None -> env.App_registry.viewer
+      in
+      match user with
+      | None -> App_util.respond_error ctx "user required"
+      | Some user -> render_profile ctx ~user)
+  | "add_friend" -> (
+      match App_util.viewer_or_respond ctx env with
+      | None -> ()
+      | Some viewer -> (
+          match Request.param request "friend" with
+          | None -> App_util.respond_error ctx "friend required"
+          | Some friend_name -> add_friend ctx env ~viewer ~friend_name))
+  | "remove_friend" -> (
+      match App_util.viewer_or_respond ctx env with
+      | None -> ()
+      | Some viewer -> (
+          match Request.param request "friend" with
+          | None -> App_util.respond_error ctx "friend required"
+          | Some friend_name -> remove_friend ctx env ~viewer ~friend_name))
+  | "set_profile" -> (
+      match App_util.viewer_or_respond ctx env with
+      | None -> ()
+      | Some viewer -> (
+          match (Request.param request "field", Request.param request "value")
+          with
+          | Some field, Some value -> set_profile ctx env ~viewer ~field ~value
+          | _ -> App_util.respond_error ctx "field and value required"))
+  | other -> App_util.respond_error ctx ("unknown action: " ^ other)
+
+let source =
+  "social_app.ml: reads profiles with tainting reads; mutates friend \
+   lists only under a delegated write capability; holds no export \
+   privilege. See repository lib/apps/social_app.ml for the audited text."
+
+let publish platform ~dev =
+  App_registry.publish
+    (Platform.registry platform)
+    ~dev ~name:app_name ~version:"1.0" ~source:(App_registry.Open_source source)
+    handler

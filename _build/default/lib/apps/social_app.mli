@@ -1,0 +1,23 @@
+(** The social-networking application (§3.1's running example).
+
+    Routes (all under the app's own URL prefix):
+    - [?user=U] — render U's profile page (tainted by U's tags; the
+      perimeter and U's declassifier decide who may actually see it)
+    - [POST action=add_friend&friend=F] — append F to the viewer's
+      friend list (requires write delegation)
+    - [POST action=remove_friend&friend=F] — unfriend; the friends-only
+      declassifier reads the list live, so F's access ends immediately
+    - [POST action=set_profile&field=K&value=V] — edit the viewer's
+      profile (requires write delegation)
+
+    The app is deliberately ordinary code: it reads whatever it wants
+    (tainting itself), writes where it has been delegated, and never
+    holds an export privilege. *)
+
+val app_name : string
+val handler : W5_platform.App_registry.handler
+
+val publish :
+  W5_platform.Platform.t -> dev:W5_difc.Principal.t ->
+  (W5_platform.App_registry.app, string) result
+(** Publish as ["<dev>/social"], version 1.0, open source. *)

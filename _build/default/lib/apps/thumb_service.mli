@@ -1,0 +1,36 @@
+(** An asynchronous thumbnail worker — applications cooperating
+    through labeled IPC (§2 "communication with other modules").
+
+    One worker {e per user}, running at that user's secrecy label from
+    birth (the Asbestos-style answer to taint accumulation in shared
+    services: a worker that served two users would end up too tainted
+    to write for either). The worker holds {e no} standing privilege:
+    each request message carries the user's delegated write capability
+    ({!W5_os.Syscall.send}[ ~grant]), so the worker can write the
+    thumbnail back only while serving a request from an app the user
+    delegated to — capability delegation over IPC, end to end.
+
+    The photo app sends the request {e before} reading any user data
+    (its process is still untainted, so the flow to the user-labeled
+    worker is allowed); the worker does its own tainting read. Workers
+    are pumped explicitly ({!pump_for}) — the simulation's stand-in
+    for a background scheduler tick. *)
+
+open W5_platform
+
+val install : Platform.t -> user:string -> (W5_os.Service.t, W5_os.Os_error.t) result
+(** Idempotent per user. *)
+
+val worker_for : Platform.t -> user:string -> W5_os.Service.t option
+
+val request :
+  W5_os.Kernel.ctx -> Platform.t -> user:string -> id:string ->
+  (unit, W5_os.Os_error.t) result
+(** Called from inside an app process: grants the user's write
+    capability (which the caller must hold) along with the message. *)
+
+val pump_for : Platform.t -> user:string -> (int, W5_os.Os_error.t) result
+(** Deliver the user's pending thumbnail jobs; returns jobs done. *)
+
+val thumbnail_of : string -> string
+(** The "rendering": first 8 bytes + ["~thumb"]. *)

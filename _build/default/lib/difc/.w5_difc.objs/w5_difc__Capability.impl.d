@@ -1,0 +1,1 @@
+lib/difc/capability.ml: Format Int Label Set Tag

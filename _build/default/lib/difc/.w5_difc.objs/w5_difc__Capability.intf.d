@@ -1,0 +1,1 @@
+lib/difc/capability.mli: Format Label Tag

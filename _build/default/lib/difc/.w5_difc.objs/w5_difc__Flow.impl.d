@@ -1,0 +1,1 @@
+lib/difc/flow.ml: Capability Format Label

@@ -1,0 +1,1 @@
+lib/difc/flow.mli: Capability Format Label

@@ -1,0 +1,1 @@
+lib/difc/label.ml: Format Set Tag

@@ -1,0 +1,1 @@
+lib/difc/label.mli: Format Tag

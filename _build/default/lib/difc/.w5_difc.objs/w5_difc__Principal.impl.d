@@ -1,0 +1,1 @@
+lib/difc/principal.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/difc/principal.mli: Format Map Set

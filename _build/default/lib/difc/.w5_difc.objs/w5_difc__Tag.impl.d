@@ -1,0 +1,1 @@
+lib/difc/tag.ml: Format Hashtbl Int Printf

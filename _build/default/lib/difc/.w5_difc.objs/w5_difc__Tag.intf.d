@@ -1,0 +1,1 @@
+lib/difc/tag.mli: Format

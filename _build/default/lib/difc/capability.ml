@@ -1,0 +1,63 @@
+type sign =
+  | Plus
+  | Minus
+
+type t = Tag.t * sign
+
+let make tag sign = (tag, sign)
+let tag (t, _) = t
+let sign (_, s) = s
+
+let sign_rank = function Plus -> 0 | Minus -> 1
+
+let compare (t1, s1) (t2, s2) =
+  match Tag.compare t1 t2 with
+  | 0 -> Int.compare (sign_rank s1) (sign_rank s2)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp fmt (t, s) =
+  Format.fprintf fmt "%a%s" Tag.pp t (match s with Plus -> "+" | Minus -> "-")
+
+module Set = struct
+  module S = Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+
+  type nonrec t = S.t
+
+  let empty = S.empty
+  let of_list = S.of_list
+  let to_list = S.elements
+  let add = S.add
+  let remove = S.remove
+  let mem = S.mem
+  let union = S.union
+  let subset = S.subset
+  let cardinal = S.cardinal
+  let equal = S.equal
+  let grant_dual tag o = S.add (tag, Plus) (S.add (tag, Minus) o)
+  let can_add tag o = S.mem (tag, Plus) o
+  let can_drop tag o = S.mem (tag, Minus) o
+  let has_dual tag o = can_add tag o && can_drop tag o
+
+  let addable o =
+    S.fold
+      (fun (t, s) acc -> match s with Plus -> Label.add t acc | Minus -> acc)
+      o Label.empty
+
+  let droppable o =
+    S.fold
+      (fun (t, s) acc -> match s with Minus -> Label.add t acc | Plus -> acc)
+      o Label.empty
+
+  let pp fmt o =
+    Format.fprintf fmt "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+         pp)
+      (S.elements o)
+end

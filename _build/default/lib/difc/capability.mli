@@ -1,0 +1,63 @@
+(** Capabilities and ownership sets.
+
+    Following Flume, each tag [t] has two associated capabilities:
+    [t+] (the right to *add* [t] to one's own label, i.e. to receive
+    data tainted by [t] / to endorse for integrity [t]) and [t-] (the
+    right to *remove* [t], i.e. to declassify secrecy [t] / to drop an
+    integrity vouching). A process's ownership set [O] is a set of
+    such capabilities. Holding both [t+] and [t-] is called *dual
+    privilege* over [t] and makes the tag invisible to that process's
+    flow checks. *)
+
+(** Polarity of a capability. *)
+type sign =
+  | Plus   (** [t+]: may add the tag to own label. *)
+  | Minus  (** [t-]: may remove the tag from own label. *)
+
+type t
+(** A single capability: a tag together with a polarity. *)
+
+val make : Tag.t -> sign -> t
+val tag : t -> Tag.t
+val sign : t -> sign
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Ownership sets. *)
+module Set : sig
+  type cap := t
+  type t
+
+  val empty : t
+  val of_list : cap list -> t
+  val to_list : t -> cap list
+  val add : cap -> t -> t
+  val remove : cap -> t -> t
+  val mem : cap -> t -> bool
+  val union : t -> t -> t
+  val subset : t -> t -> bool
+  val cardinal : t -> int
+  val equal : t -> t -> bool
+
+  val grant_dual : Tag.t -> t -> t
+  (** [grant_dual tag o] adds both [tag+] and [tag-]. *)
+
+  val can_add : Tag.t -> t -> bool
+  (** Does the set contain [tag+]? *)
+
+  val can_drop : Tag.t -> t -> bool
+  (** Does the set contain [tag-]? *)
+
+  val has_dual : Tag.t -> t -> bool
+
+  val addable : t -> Label.t
+  (** All tags [t] with [t+] present — the upper bound of reachable
+      label growth. *)
+
+  val droppable : t -> Label.t
+  (** All tags [t] with [t-] present — the tags the owner can
+      declassify away. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,34 @@
+module S = Set.Make (Tag)
+
+type t = S.t
+
+let empty = S.empty
+let is_empty = S.is_empty
+let singleton = S.singleton
+let of_list = S.of_list
+let to_list = S.elements
+let add = S.add
+let remove = S.remove
+let mem = S.mem
+let union = S.union
+let inter = S.inter
+let diff = S.diff
+let subset = S.subset
+let equal = S.equal
+let compare = S.compare
+let cardinal = S.cardinal
+let fold f s acc = S.fold f s acc
+let iter = S.iter
+let exists = S.exists
+let for_all = S.for_all
+let filter = S.filter
+let choose_opt = S.choose_opt
+
+let pp fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       Tag.pp)
+    (S.elements s)
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,42 @@
+type role =
+  | End_user
+  | Developer
+  | Provider
+  | External_client
+
+type t = {
+  id : int;
+  role : role;
+  name : string;
+}
+
+let counter = ref 0
+
+let make role name =
+  incr counter;
+  { id = !counter; role; name }
+
+let role p = p.role
+let name p = p.name
+let id p = p.id
+let is_external p = p.role = External_client
+let compare a b = Int.compare a.id b.id
+let equal a b = a.id = b.id
+
+let role_string = function
+  | End_user -> "user"
+  | Developer -> "dev"
+  | Provider -> "provider"
+  | External_client -> "client"
+
+let pp fmt p =
+  Format.fprintf fmt "%s:%s#%d" (role_string p.role) p.name p.id
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

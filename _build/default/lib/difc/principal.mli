@@ -1,0 +1,29 @@
+(** Principals: the entities of the W5 ecosystem (§2 of the paper).
+
+    A principal is anything that can own tags, hold capabilities or
+    appear in an audit record: end-users who store data, developers
+    who contribute code, the provider itself, and external clients
+    (browsers) outside the perimeter. *)
+
+type role =
+  | End_user
+  | Developer
+  | Provider
+  | External_client  (** A browser or remote site beyond the perimeter. *)
+
+type t
+
+val make : role -> string -> t
+(** [make role name] creates a fresh principal. Names need not be
+    unique; identity is by allocation. *)
+
+val role : t -> role
+val name : t -> string
+val id : t -> int
+val is_external : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

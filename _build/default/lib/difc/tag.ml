@@ -1,0 +1,54 @@
+type kind =
+  | Secrecy
+  | Integrity
+
+type t = int
+
+type meta = {
+  m_name : string;
+  m_kind : kind;
+  m_restricted : bool;
+}
+
+(* Tag metadata lives in a side table so the tag value itself stays a
+   bare integer, which keeps label-set operations allocation-free. *)
+let counter = ref 0
+let metas : (int, meta) Hashtbl.t = Hashtbl.create 256
+
+let fresh ?name ?(restricted = false) k =
+  incr counter;
+  let id = !counter in
+  let n =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "tag#%d" id
+  in
+  Hashtbl.replace metas id { m_name = n; m_kind = k; m_restricted = restricted };
+  id
+
+let meta t = Hashtbl.find_opt metas t
+
+let kind t =
+  match meta t with
+  | Some m -> m.m_kind
+  | None -> Secrecy
+
+let restricted t =
+  match meta t with
+  | Some m -> m.m_restricted
+  | None -> false
+
+let name t =
+  match meta t with
+  | Some m -> m.m_name
+  | None -> Printf.sprintf "tag#%d" t
+
+let id t = t
+let of_id i = if Hashtbl.mem metas i then Some i else None
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+
+let pp fmt t =
+  let k = match kind t with Secrecy -> "s" | Integrity -> "i" in
+  Format.fprintf fmt "%s:%s#%d" k (name t) t

@@ -1,0 +1,54 @@
+(** Opaque information-flow tags.
+
+    A tag is the unit of data classification in W5 (following Flume
+    [Krohn et al., SOSP 2007]). Every user secret, every integrity
+    domain, is represented by one tag. Labels ({!Label.t}) are sets of
+    tags; capabilities ({!Capability.t}) confer the right to add or
+    remove a given tag from one's own label. *)
+
+type t
+(** An opaque tag. Tags are totally ordered and hashable so that they
+    can populate efficient sets. *)
+
+(** What lattice a tag participates in. A [Secrecy] tag taints data
+    that must not leave the perimeter; an [Integrity] tag vouches for
+    data provenance and gates writes. *)
+type kind =
+  | Secrecy
+  | Integrity
+
+val fresh : ?name:string -> ?restricted:bool -> kind -> t
+(** [fresh ~name kind] allocates a new, globally unique tag. [name] is
+    kept only for diagnostics; two tags with the same name are still
+    distinct. Allocation is deterministic within a run (a monotonic
+    counter), which keeps simulations reproducible.
+
+    [restricted] (default [false]) marks a secrecy tag as
+    {e read-protected} (§3.1 "read protection"): ordinarily any
+    process may taint itself with any secrecy tag, but a restricted
+    tag can only be absorbed by a process holding its [t+]
+    capability — so unauthorized software cannot read the data at
+    all, not merely fail to export it. *)
+
+val kind : t -> kind
+(** [kind t] returns the lattice the tag belongs to. *)
+
+val restricted : t -> bool
+(** Is this a read-protected tag? *)
+
+val name : t -> string
+(** [name t] is the diagnostic name given at creation, or a generated
+    ["tag#N"] placeholder. *)
+
+val id : t -> int
+(** [id t] is the unique integer identity of [t]. Exposed for stable
+    serialization; reconstruct tags only through {!of_id}. *)
+
+val of_id : int -> t option
+(** The registered tag with this identity, if any — the inverse of
+    {!id} for deserialization (filesystem snapshots, federation). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/federation/conflict.ml: List Record String W5_store

@@ -1,0 +1,1 @@
+lib/federation/conflict.mli: Record W5_store

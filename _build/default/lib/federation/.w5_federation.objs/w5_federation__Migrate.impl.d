@@ -1,0 +1,1 @@
+lib/federation/migrate.ml: Account App_registry Capability Flow Fs Label List Os_error Platform Result String Syscall W5_difc W5_os W5_platform W5_store

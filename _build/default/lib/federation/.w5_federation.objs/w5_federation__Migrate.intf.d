@@ -1,0 +1,1 @@
+lib/federation/migrate.mli: Account App_registry Platform Stdlib W5_difc W5_os W5_platform

@@ -1,0 +1,1 @@
+lib/federation/peer.ml: Hashtbl List Platform String Sync W5_platform

@@ -1,0 +1,1 @@
+lib/federation/peer.mli: Platform W5_platform

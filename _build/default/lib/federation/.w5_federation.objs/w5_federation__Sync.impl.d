@@ -1,0 +1,1 @@
+lib/federation/sync.ml: Account Capability Conflict Flow Fs Hashtbl Label List Option Os_error Platform Record Result String Syscall Vector_clock W5_difc W5_os W5_platform W5_store

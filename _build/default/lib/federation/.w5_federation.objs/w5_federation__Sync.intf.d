@@ -1,0 +1,1 @@
+lib/federation/sync.mli: Account Os_error Platform Record W5_os W5_platform W5_store

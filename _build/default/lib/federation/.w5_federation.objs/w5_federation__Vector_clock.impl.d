@@ -1,0 +1,1 @@
+lib/federation/vector_clock.ml: Format Int List Map Option String

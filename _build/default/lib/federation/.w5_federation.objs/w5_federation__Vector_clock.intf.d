@@ -1,0 +1,1 @@
+lib/federation/vector_clock.mli: Format

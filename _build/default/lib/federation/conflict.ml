@@ -1,0 +1,34 @@
+open W5_store
+
+let is_list_field key =
+  key = "friends" || key = "entries"
+  ||
+  let suffix = "_list" in
+  let kl = String.length key and sl = String.length suffix in
+  kl >= sl && String.sub key (kl - sl) sl = suffix
+
+let union_preserving_order xs ys =
+  xs @ List.filter (fun y -> not (List.mem y xs)) ys
+
+let merge_values ~key a b =
+  if a = b then a
+  else if is_list_field key then
+    let la = if a = "" then [] else String.split_on_char ',' a in
+    let lb = if b = "" then [] else String.split_on_char ',' b in
+    String.concat "," (union_preserving_order la lb)
+  else if String.compare a b >= 0 then a
+  else b
+
+let merge ra rb =
+  let keys =
+    Record.keys ra @ List.filter (fun k -> not (Record.mem ra k)) (Record.keys rb)
+  in
+  Record.of_fields
+    (List.map
+       (fun key ->
+         match (Record.get ra key, Record.get rb key) with
+         | Some a, Some b -> (key, merge_values ~key a b)
+         | Some a, None -> (key, a)
+         | None, Some b -> (key, b)
+         | None, None -> (key, ""))
+       keys)

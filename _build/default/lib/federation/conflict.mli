@@ -1,0 +1,19 @@
+(** Conflict resolution for concurrently edited user records.
+
+    When both replicas changed since the last synchronization, the
+    merge is field-wise and deterministic:
+    - a field present on only one side is kept;
+    - a list-valued field (heuristically: its key is [friends],
+      [entries], or ends in [_list]) merges as a set union, preserving
+      first-seen order;
+    - otherwise the lexicographically larger value wins (arbitrary but
+      symmetric, so both replicas converge without coordination). *)
+
+open W5_store
+
+val is_list_field : string -> bool
+
+val merge_values : key:string -> string -> string -> string
+
+val merge : Record.t -> Record.t -> Record.t
+(** Commutative up to field order; [merge r r = r]. *)

@@ -1,0 +1,173 @@
+open W5_difc
+open W5_os
+open W5_platform
+
+type entry = {
+  rel_path : string;
+  content : string;
+}
+
+type bundle = entry list
+
+(* Reuse the sync agent's privilege model: the user's own grants. *)
+let transfer_caps (account : Account.t) =
+  let tags =
+    account.Account.secret_tag
+    :: (match account.Account.read_tag with Some rt -> [ rt ] | None -> [])
+  in
+  List.fold_left
+    (fun caps tag ->
+      let caps =
+        if Capability.Set.can_drop tag account.Account.caps then
+          Capability.Set.add (Capability.make tag Capability.Minus) caps
+        else caps
+      in
+      if Capability.Set.can_add tag account.Account.caps then
+        Capability.Set.add (Capability.make tag Capability.Plus) caps
+      else caps)
+    Capability.Set.empty tags
+
+let export_bundle platform (account : Account.t) =
+  let home = Platform.user_dir account.Account.user in
+  Platform.with_ctx platform
+    ~name:("migrate.export:" ^ account.Account.user)
+    ~caps:(transfer_caps account)
+    (fun ctx ->
+      let declassify_all () =
+        List.iter
+          (fun tag -> ignore (Syscall.declassify_self ctx tag))
+          (account.Account.secret_tag
+          :: (match account.Account.read_tag with Some rt -> [ rt ] | None -> []))
+      in
+      let rec walk path acc =
+        match acc with
+        | Error _ as e -> e
+        | Ok entries -> (
+            match Syscall.stat ctx path with
+            | Error _ as e -> e
+            | Ok st -> (
+                match st.Fs.kind with
+                | Fs.Regular -> (
+                    match Syscall.read_file_taint ctx path with
+                    | Error _ as e -> e
+                    | Ok content ->
+                        (* shed the taint now; if the grants cannot
+                           clear it the residue check below aborts *)
+                        declassify_all ();
+                        let residue = (Syscall.my_labels ctx).Flow.secrecy in
+                        if not (Label.is_empty residue) then
+                          Error
+                            (Os_error.Denied (Flow.Secrecy_violation residue))
+                        else
+                          let rel =
+                            String.sub path
+                              (String.length home + 1)
+                              (String.length path - String.length home - 1)
+                          in
+                          Ok ({ rel_path = rel; content } :: entries))
+                | Fs.Directory -> (
+                    (* stay tainted through the listing (strict
+                       readdir needs it); files declassify on exit *)
+                    match Syscall.add_taint ctx st.Fs.labels.Flow.secrecy with
+                    | Error _ as e -> e
+                    | Ok () -> (
+                        match Syscall.readdir ctx path with
+                        | Error _ as e -> e
+                        | Ok names ->
+                            List.fold_left
+                              (fun acc name -> walk (path ^ "/" ^ name) acc)
+                              (Ok entries) names))))
+      in
+      Result.map
+        (fun entries ->
+          List.sort (fun a b -> String.compare a.rel_path b.rel_path) entries)
+        (walk home (Ok [])))
+
+let import_bundle platform (account : Account.t) bundle =
+  let written = ref 0 in
+  let rec ensure_dirs rel =
+    match String.rindex_opt rel '/' with
+    | None -> Ok ()
+    | Some i -> (
+        let dir = String.sub rel 0 i in
+        match ensure_dirs dir with
+        | Error _ as e -> e
+        | Ok () -> (
+            match Platform.user_mkdir platform account ~dir with
+            | Ok () | Error (Os_error.Already_exists _) -> Ok ()
+            | Error _ as e -> e))
+  in
+  let import_one acc { rel_path; content } =
+    match acc with
+    | Error _ as e -> e
+    | Ok () -> (
+        match ensure_dirs rel_path with
+        | Error _ as e -> e
+        | Ok () -> (
+            let result =
+              Platform.with_ctx platform
+                ~name:("migrate.import:" ^ rel_path)
+                ~owner:account.Account.principal
+                ~labels:
+                  (Flow.make
+                     ~integrity:(Label.singleton account.Account.write_tag)
+                     ())
+                ~caps:account.Account.caps
+                (fun ctx ->
+                  let path = Platform.user_file account.Account.user rel_path in
+                  if Syscall.file_exists ctx path then
+                    Syscall.write_file ctx path ~data:content
+                  else
+                    Syscall.create_file ctx path
+                      ~labels:(Account.data_labels account)
+                      ~data:content)
+            in
+            match result with
+            | Error _ as e -> e
+            | Ok () ->
+                incr written;
+                Ok ()))
+  in
+  Result.map (fun () -> !written) (List.fold_left import_one (Ok ()) bundle)
+
+let migrate_account ~from_platform ~from_account ~to_platform ~to_account =
+  match export_bundle from_platform from_account with
+  | Error _ as e -> e
+  | Ok bundle -> import_bundle to_platform to_account bundle
+
+(* The bundle file format reuses the record escaping: one entry per
+   line, [path=content], both escaped. *)
+let encode_bundle bundle =
+  W5_store.Record.encode
+    (W5_store.Record.of_fields
+       (List.map (fun { rel_path; content } -> (rel_path, content)) bundle))
+
+let publish_takeout_app platform ~dev =
+  let handler ctx (env : App_registry.env) =
+    match env.App_registry.viewer with
+    | None -> ignore (Syscall.respond ctx "please log in")
+    | Some user -> (
+        match Platform.find_account platform user with
+        | None -> ignore (Syscall.respond ctx "no such account")
+        | Some account -> (
+            match export_bundle platform account with
+            | Error e ->
+                ignore
+                  (Syscall.respond ctx
+                     ("takeout failed: " ^ Os_error.to_string e))
+            | Ok bundle -> ignore (Syscall.respond ctx (encode_bundle bundle))))
+  in
+  App_registry.publish (Platform.registry platform) ~dev ~name:"takeout"
+    ~version:"1.0"
+    ~source:
+      (App_registry.Open_source
+         "takeout: the viewer's whole home directory as a portable bundle")
+    handler
+
+let decode_bundle data =
+  Result.map
+    (fun record ->
+      List.map
+        (fun (rel_path, content) -> { rel_path; content })
+        (W5_store.Record.fields record))
+    (W5_store.Record.decode data)

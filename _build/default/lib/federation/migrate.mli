@@ -1,0 +1,58 @@
+(** Whole-account portability: the anti-silo headline of §1.
+
+    On today's Web, "a new photo sharing application would require a
+    user to retrieve her collection from an existing provider and
+    upload it to the new one" — item by item, site by site. Under W5
+    the user's data is hers: with the same privileges she would give a
+    sync agent (declassification to read everything out, write
+    authority to put it back), her entire home directory moves in one
+    operation.
+
+    {!export_bundle} walks [/users/<u>/], declassifying each file with
+    the user-granted capabilities — files whose taint the grants cannot
+    clear abort the export (nothing silently leaks or is silently
+    dropped). {!import_bundle} recreates the tree on the target
+    platform under the target account's own fresh labels. The bundle
+    has a stable textual {!encode_bundle} form — the "download my
+    data" file. *)
+
+open W5_platform
+
+type entry = {
+  rel_path : string;  (** relative to the user's home, e.g. ["photos/p1"] *)
+  content : string;
+}
+
+type bundle = entry list
+
+val export_bundle :
+  Platform.t -> Account.t -> (bundle, W5_os.Os_error.t) result
+(** Deterministic order (lexicographic by path). Directories are
+    implied by paths. *)
+
+val import_bundle :
+  Platform.t -> Account.t -> bundle -> (int, W5_os.Os_error.t) result
+(** Create-or-overwrite each entry under the account's labels
+    (intermediate directories are created as needed); returns how many
+    entries were written. *)
+
+val migrate_account :
+  from_platform:Platform.t -> from_account:Account.t ->
+  to_platform:Platform.t -> to_account:Account.t ->
+  (int, W5_os.Os_error.t) result
+(** {!export_bundle} then {!import_bundle}: the whole move, no manual
+    re-upload. *)
+
+val encode_bundle : bundle -> string
+val decode_bundle : string -> (bundle, string) result
+(** [decode_bundle (encode_bundle b) = Ok b]. *)
+
+val publish_takeout_app :
+  Platform.t -> dev:W5_difc.Principal.t ->
+  (App_registry.app, string) Stdlib.result
+(** "Download my data" as just another W5 application: publishes
+    ["<dev>/takeout"], whose page is the logged-in viewer's own
+    {!encode_bundle}. The export machinery (and hence the user's own
+    grants) does the reading; the boilerplate policy lets the result
+    out because it is going to its owner. Provider-authored: the
+    handler is part of the trusted base, like a declassifier. *)

@@ -1,0 +1,88 @@
+open W5_platform
+
+type t = {
+  mutable sides : (string * Platform.t) list;  (* insertion order *)
+  links : (string, Sync.link list) Hashtbl.t;  (* user -> pairwise links *)
+}
+
+let create () = { sides = []; links = Hashtbl.create 8 }
+
+let add_provider t ~name platform =
+  if List.mem_assoc name t.sides then Error (name ^ ": provider exists")
+  else begin
+    t.sides <- t.sides @ [ (name, platform) ];
+    Ok ()
+  end
+
+let providers t = t.sides
+let provider t ~name = List.assoc_opt name t.sides
+
+let rec pairs = function
+  | [] -> []
+  | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+
+let link_user t ~user ~files =
+  let holding =
+    List.filter
+      (fun (_, platform) -> Platform.find_account platform user <> None)
+      t.sides
+  in
+  if List.length holding < 2 then
+    Error (user ^ ": needs an account on at least two providers")
+  else
+    let rec build acc = function
+      | [] -> Ok (List.rev acc)
+      | ((name_a, pa), (name_b, pb)) :: rest -> (
+          let a = { Sync.platform = pa; provider_name = name_a } in
+          let b = { Sync.platform = pb; provider_name = name_b } in
+          match Sync.establish ~a ~b ~user ~files () with
+          | Error _ as e -> e
+          | Ok link -> build (link :: acc) rest)
+    in
+    match build [] (pairs holding) with
+    | Error _ as e -> e
+    | Ok links ->
+        Hashtbl.replace t.links user links;
+        Ok ()
+
+let linked_users t =
+  Hashtbl.fold (fun user _ acc -> user :: acc) t.links []
+  |> List.sort String.compare
+
+let user_links t user =
+  match Hashtbl.find_opt t.links user with
+  | Some links -> Ok links
+  | None -> Error (user ^ ": not linked")
+
+let sync_round t ~user =
+  match user_links t user with
+  | Error _ as e -> e
+  | Ok links ->
+      List.fold_left
+        (fun acc link ->
+          match acc with
+          | Error _ as e -> e
+          | Ok moved -> (
+              match Sync.sync link with
+              | Error _ as e -> e
+              | Ok stats ->
+                  Ok
+                    (moved + stats.Sync.a_to_b + stats.Sync.b_to_a
+                   + stats.Sync.merged)))
+        (Ok 0) links
+
+let converged t ~user =
+  match user_links t user with
+  | Error _ -> false
+  | Ok links -> List.for_all Sync.converged links
+
+let sync_until_converged ?(max_rounds = 10) t ~user =
+  let rec go round =
+    if round > max_rounds then Error "did not converge"
+    else
+      match sync_round t ~user with
+      | Error _ as e -> e
+      | Ok 0 -> Ok round
+      | Ok _ -> go (round + 1)
+  in
+  go 1

@@ -1,0 +1,38 @@
+(** Provider meshes: "one can imagine more elaborate systems, wherein
+    providers have explicit peering arrangements with other providers"
+    (§3.3).
+
+    A mesh is a set of named providers with pairwise synchronization
+    links per linked user. A gossip round runs every pairwise link
+    once; because each link is convergent, repeated rounds drive the
+    whole mesh to a fixed point (for n providers, at most
+    ceil(log2 n) + 1 rounds when edits stop). *)
+
+open W5_platform
+
+type t
+
+val create : unit -> t
+val add_provider : t -> name:string -> Platform.t -> (unit, string) result
+(** Names must be unique within the mesh. *)
+
+val providers : t -> (string * Platform.t) list
+val provider : t -> name:string -> Platform.t option
+
+val link_user :
+  t -> user:string -> files:string list -> (unit, string) result
+(** Create pairwise links for [user] across every provider holding the
+    account. Fails if fewer than two providers know the user. *)
+
+val linked_users : t -> string list
+
+val sync_round : t -> user:string -> (int, string) result
+(** Run every pairwise link once; returns the number of records that
+    moved or merged. *)
+
+val sync_until_converged :
+  ?max_rounds:int -> t -> user:string -> (int, string) result
+(** Gossip until a round moves nothing (returns the number of rounds
+    used, including the final empty one). [max_rounds] defaults to 10. *)
+
+val converged : t -> user:string -> bool

@@ -1,0 +1,346 @@
+open W5_difc
+open W5_os
+open W5_store
+open W5_platform
+
+type side = {
+  platform : Platform.t;
+  provider_name : string;
+}
+
+type mode =
+  | Bidirectional
+  | Mirror_a_to_b
+
+type link = {
+  side_a : side;
+  side_b : side;
+  link_mode : mode;
+  link_user : string;
+  mutable sync_files : string list;
+  mutable sync_dirs : string list;
+  seen : (string, Vector_clock.t) Hashtbl.t;
+}
+
+type stats = {
+  a_to_b : int;
+  b_to_a : int;
+  merged : int;
+  unchanged : int;
+}
+
+(* The privileges the user "gives to the data transfer application":
+   declassification over their secrecy tags (and absorption for the
+   restricted read tag). Only capabilities the account actually holds
+   can be passed on — a user who stripped their own grants transfers
+   nothing. Write authority is exercised separately via
+   Platform.write_user_record. *)
+let transfer_caps (account : Account.t) =
+  let tags =
+    account.Account.secret_tag
+    :: (match account.Account.read_tag with Some rt -> [ rt ] | None -> [])
+  in
+  List.fold_left
+    (fun caps tag ->
+      let caps =
+        if Capability.Set.can_drop tag account.Account.caps then
+          Capability.Set.add (Capability.make tag Capability.Minus) caps
+        else caps
+      in
+      if Capability.Set.can_add tag account.Account.caps then
+        Capability.Set.add (Capability.make tag Capability.Plus) caps
+      else caps)
+    Capability.Set.empty tags
+
+let export_record platform (account : Account.t) ~file =
+  let path = Platform.user_file account.Account.user file in
+  Platform.with_ctx platform
+    ~name:("sync.export:" ^ path)
+    ~caps:(transfer_caps account)
+    (fun ctx ->
+      match Syscall.stat ctx path with
+      | Error _ as e -> e
+      | Ok st -> (
+          match Syscall.read_file_taint ctx path with
+          | Error _ as e -> e
+          | Ok data -> (
+              List.iter
+                (fun tag -> ignore (Syscall.declassify_self ctx tag))
+                (account.Account.secret_tag
+                :: (match account.Account.read_tag with
+                   | Some rt -> [ rt ]
+                   | None -> []));
+              (* The agent only hands data off the platform once its
+                 label is provably exportable. *)
+              let residue = (Syscall.my_labels ctx).Flow.secrecy in
+              if not (Label.is_empty residue) then
+                Error (Os_error.Denied (Flow.Secrecy_violation residue))
+              else
+                match Record.decode data with
+                | Error m -> Error (Os_error.Invalid m)
+                | Ok record -> Ok (record, st.Fs.version))))
+
+let version_of platform (account : Account.t) ~file =
+  let path = Platform.user_file account.Account.user file in
+  match
+    Platform.with_ctx platform ~name:("sync.stat:" ^ path) (fun ctx ->
+        Syscall.stat ctx path)
+  with
+  | Ok st -> st.Fs.version
+  | Error _ -> 0
+
+let establish ?(mode = Bidirectional) ~a ~b ~user ~files () =
+  match (Platform.find_account a.platform user, Platform.find_account b.platform user) with
+  | None, _ -> Error (user ^ ": no account on " ^ a.provider_name)
+  | _, None -> Error (user ^ ": no account on " ^ b.provider_name)
+  | Some _, Some _ ->
+      Ok
+        {
+          side_a = a;
+          side_b = b;
+          link_mode = mode;
+          link_user = user;
+          sync_files = files;
+          sync_dirs = [];
+          seen = Hashtbl.create 16;
+        }
+
+let add_file link file =
+  if not (List.mem file link.sync_files) then
+    link.sync_files <- link.sync_files @ [ file ]
+
+let add_directory link dir =
+  if not (List.mem dir link.sync_dirs) then
+    link.sync_dirs <- link.sync_dirs @ [ dir ]
+
+let directories link = link.sync_dirs
+let files link = link.sync_files
+let user link = link.link_user
+
+(* Entries of /users/<u>/<dir> on one platform, [] if absent. *)
+let dir_entries platform (account : Account.t) ~dir =
+  let path = Platform.user_file account.Account.user dir in
+  match
+    Platform.with_ctx platform ~name:("sync.ls:" ^ path)
+      ~caps:(transfer_caps account) (fun ctx ->
+        match Syscall.stat ctx path with
+        | Error _ as e -> e
+        | Ok st -> (
+            match
+              Syscall.add_taint ctx st.Fs.labels.Flow.secrecy
+            with
+            | Error _ as e -> e
+            | Ok () -> Syscall.readdir ctx path))
+  with
+  | Ok names -> names
+  | Error _ -> []
+
+(* Importing "photos/p1" needs "photos" to exist on the target. *)
+let ensure_parent_dir platform (account : Account.t) ~file =
+  match String.index_opt file '/' with
+  | None -> Ok ()
+  | Some i -> (
+      let dir = String.sub file 0 i in
+      match Platform.user_mkdir platform account ~dir with
+      | Ok () -> Ok ()
+      | Error (Os_error.Already_exists _) -> Ok ()
+      | Error _ as e -> e)
+
+let current_clock link ~file =
+  let account_a = Platform.account_exn link.side_a.platform link.link_user in
+  let account_b = Platform.account_exn link.side_b.platform link.link_user in
+  Vector_clock.set
+    (Vector_clock.set Vector_clock.zero ~node:link.side_a.provider_name
+       (version_of link.side_a.platform account_a ~file))
+    ~node:link.side_b.provider_name
+    (version_of link.side_b.platform account_b ~file)
+
+let seen_clock link ~file =
+  Option.value (Hashtbl.find_opt link.seen file) ~default:Vector_clock.zero
+
+let sync_file link ~file =
+  let a = link.side_a and b = link.side_b in
+  let account_a = Platform.account_exn a.platform link.link_user in
+  let account_b = Platform.account_exn b.platform link.link_user in
+  let current = current_clock link ~file in
+  let seen = seen_clock link ~file in
+  let va = Vector_clock.get current ~node:a.provider_name in
+  let vb = Vector_clock.get current ~node:b.provider_name in
+  let seen_a = Vector_clock.get seen ~node:a.provider_name in
+  let seen_b = Vector_clock.get seen ~node:b.provider_name in
+  let a_changed = va > seen_a in
+  let b_changed = vb > seen_b in
+  (* a file the link has synchronized before that is now absent was
+     deleted on that side — not "never existed" *)
+  let deleted_a = va = 0 && seen_a > 0 in
+  let deleted_b = vb = 0 && seen_b > 0 in
+  let remember () =
+    Hashtbl.replace link.seen file (current_clock link ~file)
+  in
+  let copy ~src_platform ~src_account ~dst_platform ~dst_account =
+    match export_record src_platform src_account ~file with
+    | Error e -> Error (Os_error.to_string e)
+    | Ok (record, _) -> (
+        (* Skip the write when the destination already matches: a
+           rewrite would bump its version and look like a fresh edit
+           to every *other* link of a mesh, ping-ponging forever. *)
+        let already_there =
+          match export_record dst_platform dst_account ~file with
+          | Ok (existing, _) -> Record.equal existing record
+          | Error _ -> false
+        in
+        if already_there then begin
+          remember ();
+          Ok `Same
+        end
+        else
+          match
+            Result.map_error Os_error.to_string
+              (ensure_parent_dir dst_platform dst_account ~file)
+          with
+          | Error _ as e -> e
+          | Ok () -> (
+              match
+                Platform.write_user_record dst_platform dst_account ~file
+                  record
+              with
+              | Error e -> Error (Os_error.to_string e)
+              | Ok () ->
+                  remember ();
+                  Ok `Copied))
+  in
+  let outcome_of_copy direction = function
+    | `Same -> `Unchanged
+    | `Copied -> direction
+  in
+  let delete_on platform account =
+    match Platform.delete_user_file platform account ~file with
+    | Ok () ->
+        remember ();
+        Ok ()
+    | Error e -> Error (Os_error.to_string e)
+  in
+  if deleted_a || deleted_b then begin
+    if deleted_a && deleted_b then begin
+      remember ();
+      Ok `Unchanged
+    end
+    else if deleted_a && b_changed then
+      (* concurrent edit vs delete: the edit wins, the file comes back *)
+      Result.map (outcome_of_copy `B_to_a)
+        (copy ~src_platform:b.platform ~src_account:account_b
+           ~dst_platform:a.platform ~dst_account:account_a)
+    else if deleted_b && a_changed then
+      Result.map (outcome_of_copy `A_to_b)
+        (copy ~src_platform:a.platform ~src_account:account_a
+           ~dst_platform:b.platform ~dst_account:account_b)
+    else if deleted_a then
+      Result.map (fun () -> `A_to_b) (delete_on b.platform account_b)
+    else Result.map (fun () -> `B_to_a) (delete_on a.platform account_a)
+  end
+  else if (not a_changed) && not b_changed then Ok `Unchanged
+  else if link.link_mode = Mirror_a_to_b then begin
+    (* one-way: B is a replica; whatever happened, it tracks A *)
+    if va = 0 then Ok `Unchanged
+    else
+      match
+        copy ~src_platform:a.platform ~src_account:account_a
+          ~dst_platform:b.platform ~dst_account:account_b
+      with
+      | Error _ as e -> e
+      | Ok `Same -> Ok `Unchanged
+      | Ok `Copied -> Ok `A_to_b
+  end
+  else
+    let outcome_of = outcome_of_copy in
+    if a_changed && not b_changed then
+      if va = 0 then Ok `Unchanged
+      else
+        Result.map (outcome_of `A_to_b)
+          (copy ~src_platform:a.platform ~src_account:account_a
+             ~dst_platform:b.platform ~dst_account:account_b)
+    else if b_changed && not a_changed then
+      if vb = 0 then Ok `Unchanged
+      else
+        Result.map (outcome_of `B_to_a)
+          (copy ~src_platform:b.platform ~src_account:account_b
+             ~dst_platform:a.platform ~dst_account:account_a)
+    else if va = 0 then
+      (* changed on both but absent on A: plain copy B->A *)
+      Result.map (outcome_of `B_to_a)
+        (copy ~src_platform:b.platform ~src_account:account_b
+           ~dst_platform:a.platform ~dst_account:account_a)
+    else if vb = 0 then
+      Result.map (outcome_of `A_to_b)
+        (copy ~src_platform:a.platform ~src_account:account_a
+           ~dst_platform:b.platform ~dst_account:account_b)
+    else
+      (* concurrent edits: merge and write back to both replicas *)
+      match export_record a.platform account_a ~file with
+    | Error e -> Error (Os_error.to_string e)
+    | Ok (ra, _) -> (
+        match export_record b.platform account_b ~file with
+        | Error e -> Error (Os_error.to_string e)
+        | Ok (rb, _) ->
+            if Record.equal ra rb then begin
+              remember ();
+              Ok `Unchanged
+            end
+            else
+              let merged = Conflict.merge ra rb in
+              let write platform account =
+                match ensure_parent_dir platform account ~file with
+                | Error _ as e -> e
+                | Ok () ->
+                    Platform.write_user_record platform account ~file merged
+              in
+              (match (write a.platform account_a, write b.platform account_b) with
+              | Ok (), Ok () ->
+                  remember ();
+                  Ok `Merged
+              | Error e, _ | _, Error e -> Error (Os_error.to_string e)))
+
+let expanded_files link =
+  let account_a = Platform.account_exn link.side_a.platform link.link_user in
+  let account_b = Platform.account_exn link.side_b.platform link.link_user in
+  let from_dirs =
+    List.concat_map
+      (fun dir ->
+        let names =
+          List.sort_uniq String.compare
+            (dir_entries link.side_a.platform account_a ~dir
+            @ dir_entries link.side_b.platform account_b ~dir)
+        in
+        List.map (fun name -> dir ^ "/" ^ name) names)
+      link.sync_dirs
+  in
+  link.sync_files @ from_dirs
+
+let sync link =
+  List.fold_left
+    (fun acc file ->
+      match acc with
+      | Error _ as e -> e
+      | Ok stats -> (
+          match sync_file link ~file with
+          | Error e -> Error (file ^ ": " ^ e)
+          | Ok `Unchanged -> Ok { stats with unchanged = stats.unchanged + 1 }
+          | Ok `A_to_b -> Ok { stats with a_to_b = stats.a_to_b + 1 }
+          | Ok `B_to_a -> Ok { stats with b_to_a = stats.b_to_a + 1 }
+          | Ok `Merged -> Ok { stats with merged = stats.merged + 1 }))
+    (Ok { a_to_b = 0; b_to_a = 0; merged = 0; unchanged = 0 })
+    (expanded_files link)
+
+let converged link =
+  let account_a = Platform.account_exn link.side_a.platform link.link_user in
+  let account_b = Platform.account_exn link.side_b.platform link.link_user in
+  List.for_all
+    (fun file ->
+      match
+        ( export_record link.side_a.platform account_a ~file,
+          export_record link.side_b.platform account_b ~file )
+      with
+      | Ok (ra, _), Ok (rb, _) -> Record.equal ra rb
+      | Error _, Error _ -> true
+      | Ok _, Error _ | Error _, Ok _ -> false)
+    (expanded_files link)

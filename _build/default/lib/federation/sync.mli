@@ -1,0 +1,79 @@
+(** Cross-provider synchronization via import/export declassifiers
+    (§3.3): "create import/export declassifiers that synchronize user
+    data between two W5 providers. If an end-user deemed such
+    applications trustworthy, it would give its privileges to data
+    transfer applications on both platforms."
+
+    A {!link} represents exactly that grant, for one user across two
+    platforms: on each side the transfer agent holds the user's
+    declassification capability (to export a record off the platform)
+    and the user's write capability (to import the peer's copy).
+    {!export_record} genuinely exercises the export privilege — it
+    reads with taint, declassifies with the granted [t-], and refuses
+    to hand anything over while {!W5_difc.Flow.export_blockers} is
+    non-empty — so a user who never granted the capability cannot be
+    synchronized, trust notwithstanding.
+
+    Change detection uses per-file version vectors ({!Vector_clock}
+    keyed by provider name, fed from filesystem versions); concurrent
+    edits merge through {!Conflict}. Synchronization is convergent:
+    after [sync] with no new writes, both replicas are equal and a
+    second [sync] is a no-op. *)
+
+open W5_store
+open W5_platform
+open W5_os
+
+type side = {
+  platform : Platform.t;
+  provider_name : string;
+}
+
+(** Synchronization direction. *)
+type mode =
+  | Bidirectional  (** the default: edits flow both ways, conflicts merge *)
+  | Mirror_a_to_b
+      (** one-way backup: side B tracks side A; edits on B are
+          overwritten at the next round (the paper's "mirrored across
+          provider boundaries" in its simplest form) *)
+
+type link
+
+type stats = {
+  a_to_b : int;   (** records copied from side A to side B *)
+  b_to_a : int;
+  merged : int;   (** concurrent edits resolved *)
+  unchanged : int;
+}
+
+val establish :
+  ?mode:mode -> a:side -> b:side -> user:string -> files:string list ->
+  unit -> (link, string) result
+(** Both platforms must already have the account (the user "linked
+    accounts"). [files] are the top-level record files to mirror
+    (e.g. [["profile"; "friends"]]); more can be added later. *)
+
+val add_file : link -> string -> unit
+
+val add_directory : link -> string -> unit
+(** Mirror a whole subdirectory of the user's home (e.g. ["photos"]).
+    At each {!sync} the union of both replicas' entries is expanded
+    into per-file synchronization; files created on either side after
+    the link was established are picked up automatically. *)
+
+val directories : link -> string list
+val files : link -> string list
+val user : link -> string
+
+val export_record :
+  Platform.t -> Account.t -> file:string ->
+  (Record.t * int, Os_error.t) result
+(** Read + declassify one record with the user-granted privileges;
+    returns the record and the filesystem version. Fails with a
+    denial if the grant is missing or insufficient. *)
+
+val sync : link -> (stats, string) result
+(** One bidirectional round. Idempotent once converged. *)
+
+val converged : link -> bool
+(** Are all mirrored records byte-equal right now? *)

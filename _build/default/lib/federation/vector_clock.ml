@@ -1,0 +1,56 @@
+module SM = Map.Make (String)
+
+type t = int SM.t
+
+let zero = SM.empty
+let get t ~node = Option.value (SM.find_opt node t) ~default:0
+let tick t ~node = SM.add node (get t ~node + 1) t
+(* Zero entries are kept out of the map so that structural equality
+   coincides with semantic equality (absent = 0). *)
+let set t ~node count =
+  if count <= 0 then SM.remove node t else SM.add node count t
+
+let merge a b =
+  SM.union (fun _ x y -> Some (max x y)) a b
+
+type ordering =
+  | Equal
+  | Before
+  | After
+  | Concurrent
+
+let leq a b = SM.for_all (fun node count -> count <= get b ~node) a
+
+let compare_clocks a b =
+  match (leq a b, leq b a) with
+  | true, true -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | false, false -> Concurrent
+
+let encode t =
+  SM.bindings t
+  |> List.filter (fun (_, count) -> count > 0)
+  |> List.map (fun (node, count) -> node ^ ":" ^ string_of_int count)
+  |> String.concat ","
+
+let decode s =
+  if s = "" then zero
+  else
+    String.split_on_char ',' s
+    |> List.fold_left
+         (fun acc component ->
+           match String.index_opt component ':' with
+           | None -> acc
+           | Some i -> (
+               let node = String.sub component 0 i in
+               let count =
+                 String.sub component (i + 1) (String.length component - i - 1)
+               in
+               match int_of_string_opt count with
+               | Some n when n > 0 -> SM.add node n acc
+               | Some _ | None -> acc))
+         zero
+
+let equal = SM.equal Int.equal
+let pp fmt t = Format.pp_print_string fmt (encode t)

@@ -1,0 +1,28 @@
+(** Vector clocks keyed by provider name — the causality tracker for
+    cross-provider replication (§3.3). *)
+
+type t
+
+val zero : t
+val tick : t -> node:string -> t
+val set : t -> node:string -> int -> t
+val get : t -> node:string -> int
+val merge : t -> t -> t
+(** Pointwise max. *)
+
+type ordering =
+  | Equal
+  | Before       (** strictly dominated by the other *)
+  | After        (** strictly dominates the other *)
+  | Concurrent
+
+val compare_clocks : t -> t -> ordering
+
+val encode : t -> string
+(** ["a:3,b:1"], nodes sorted. *)
+
+val decode : string -> t
+(** Malformed components are dropped. [decode (encode c)] = [c]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

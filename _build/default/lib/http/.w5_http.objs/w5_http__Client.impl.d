@@ -1,0 +1,1 @@
+lib/http/client.ml: Headers List Request Response String Uri

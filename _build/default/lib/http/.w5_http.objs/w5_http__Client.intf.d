@@ -1,0 +1,1 @@
+lib/http/client.mli: Request Response

@@ -1,0 +1,1 @@
+lib/http/dns.ml: Hashtbl List String

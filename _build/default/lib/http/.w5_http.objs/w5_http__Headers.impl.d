@@ -1,0 +1,1 @@
+lib/http/headers.ml: List String

@@ -1,0 +1,1 @@
+lib/http/html.ml: Buffer List Printf String

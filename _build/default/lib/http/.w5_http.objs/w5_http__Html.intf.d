@@ -1,0 +1,1 @@
+lib/http/html.mli:

@@ -1,0 +1,1 @@
+lib/http/request.ml: Format Headers List Option Uri

@@ -1,0 +1,1 @@
+lib/http/response.ml: Format Headers String

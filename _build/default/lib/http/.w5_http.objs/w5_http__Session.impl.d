@@ -1,0 +1,1 @@
+lib/http/session.ml: Hashtbl List Printf

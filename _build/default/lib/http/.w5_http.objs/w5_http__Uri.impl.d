@@ -1,0 +1,1 @@
+lib/http/uri.ml: Buffer Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/http/uri.mli: Format

@@ -1,0 +1,85 @@
+type target =
+  | App of string
+  | Front_end
+  | Cname of string
+
+type t = {
+  zone_apex : string;
+  table : (string, target) Hashtbl.t;
+}
+
+let canon host = String.lowercase_ascii (String.trim host)
+
+let create ~zone =
+  let t = { zone_apex = canon zone; table = Hashtbl.create 32 } in
+  Hashtbl.replace t.table t.zone_apex Front_end;
+  Hashtbl.replace t.table ("www." ^ t.zone_apex) Front_end;
+  t
+
+let zone t = t.zone_apex
+
+let qualify t host =
+  let host = canon host in
+  let apex = t.zone_apex in
+  let hl = String.length host and al = String.length apex in
+  if host = apex then host
+  else if hl > al && String.sub host (hl - al - 1) (al + 1) = "." ^ apex then
+    host
+  else host ^ "." ^ apex
+
+let add_record t ~host target = Hashtbl.replace t.table (qualify t host) target
+let remove_record t ~host = Hashtbl.remove t.table (qualify t host)
+
+let app_host t ~app_id =
+  canon
+    (match String.index_opt app_id '/' with
+    | None -> app_id ^ "." ^ t.zone_apex
+    | Some i ->
+        let dev = String.sub app_id 0 i in
+        let name = String.sub app_id (i + 1) (String.length app_id - i - 1) in
+        name ^ "." ^ dev ^ "." ^ t.zone_apex)
+
+let register_app t ~app_id =
+  let host = app_host t ~app_id in
+  Hashtbl.replace t.table host (App app_id);
+  host
+
+let in_zone t host =
+  let host = canon host in
+  let apex = t.zone_apex in
+  let hl = String.length host and al = String.length apex in
+  host = apex || (hl > al && String.sub host (hl - al - 1) (al + 1) = "." ^ apex)
+
+let wildcard_lookup t host =
+  (* the longest "*.suffix" record whose suffix matches *)
+  let rec strip host =
+    match String.index_opt host '.' with
+    | None -> None
+    | Some i -> (
+        let suffix = String.sub host (i + 1) (String.length host - i - 1) in
+        match Hashtbl.find_opt t.table ("*." ^ suffix) with
+        | Some target -> Some target
+        | None -> strip suffix)
+  in
+  strip host
+
+let resolve t ~host =
+  let rec follow host hops =
+    if hops > 8 then None
+    else if not (in_zone t host) then None
+    else
+      let host = canon host in
+      let found =
+        match Hashtbl.find_opt t.table host with
+        | Some _ as hit -> hit
+        | None -> wildcard_lookup t host
+      in
+      match found with
+      | Some (Cname alias) -> follow (qualify t alias) (hops + 1)
+      | (Some (App _) | Some Front_end | None) as answer -> answer
+  in
+  follow host 0
+
+let records t =
+  Hashtbl.fold (fun host target acc -> (host, target) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,46 @@
+(** A miniature DNS for the W5 front door.
+
+    §2: "all of W5 should have DNS and HTTP front-ends so that users
+    can interact with a W5 application with today's Web clients", and
+    users navigate to per-developer URLs. This module models the name
+    side: a provider-controlled zone mapping hostnames to targets. The
+    gateway uses it to give every application a vanity host —
+    [crop.devA.<zone>] — in addition to its path route
+    [/app/devA/crop].
+
+    Resolution supports exact records, wildcard records ([*.<suffix>])
+    and CNAME chains (bounded, loop-safe). *)
+
+type target =
+  | App of string      (** an application id, e.g. ["devA/crop"] *)
+  | Front_end          (** the provider's own pages *)
+  | Cname of string    (** alias to another hostname *)
+
+type t
+
+val create : zone:string -> t
+(** [zone] is the apex, e.g. ["w5.example"]. The apex itself and
+    ["www.<zone>"] resolve to [Front_end]. *)
+
+val zone : t -> string
+
+val add_record : t -> host:string -> target -> unit
+(** [host] may be a fully qualified name or a prefix (completed with
+    the zone); ["*.<suffix>"] declares a wildcard. Replaces any
+    previous record. *)
+
+val remove_record : t -> host:string -> unit
+
+val app_host : t -> app_id:string -> string
+(** The canonical vanity host for an app: ["<name>.<dev>.<zone>"]. *)
+
+val register_app : t -> app_id:string -> string
+(** Add the canonical record for the app; returns the host. *)
+
+val resolve : t -> host:string -> target option
+(** Exact record first, then the longest matching wildcard, following
+    at most 8 CNAME links. [None] for hosts outside the zone or
+    unresolvable names. *)
+
+val records : t -> (string * target) list
+(** Sorted by host. *)

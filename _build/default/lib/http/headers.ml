@@ -1,0 +1,41 @@
+type t = (string * string) list
+
+let empty = []
+let of_list l = l
+let to_list t = t
+let add t name value = t @ [ (name, value) ]
+let canon = String.lowercase_ascii
+
+let set t name value =
+  List.filter (fun (n, _) -> canon n <> canon name) t @ [ (name, value) ]
+
+let get t name =
+  List.find_map
+    (fun (n, v) -> if canon n = canon name then Some v else None)
+    t
+
+let get_all t name =
+  List.filter_map
+    (fun (n, v) -> if canon n = canon name then Some v else None)
+    t
+
+let mem t name = get t name <> None
+
+let split_cookie_pair pair =
+  let pair = String.trim pair in
+  match String.index_opt pair '=' with
+  | None -> None
+  | Some i ->
+      Some
+        ( String.trim (String.sub pair 0 i),
+          String.trim (String.sub pair (i + 1) (String.length pair - i - 1)) )
+
+let parse_cookies t =
+  get_all t "cookie"
+  |> List.concat_map (String.split_on_char ';')
+  |> List.filter_map split_cookie_pair
+
+let set_cookie t ~name ~value = add t "Set-Cookie" (name ^ "=" ^ value)
+
+let cookies_set_by t =
+  get_all t "set-cookie" |> List.filter_map split_cookie_pair

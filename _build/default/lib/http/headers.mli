@@ -1,0 +1,27 @@
+(** Case-insensitive HTTP header collections and cookie strings. *)
+
+type t
+
+val empty : t
+val of_list : (string * string) list -> t
+val to_list : t -> (string * string) list
+val add : t -> string -> string -> t
+(** Appends; HTTP allows repeated headers. *)
+
+val set : t -> string -> string -> t
+(** Replaces all previous values of the name. *)
+
+val get : t -> string -> string option
+(** First value, name compared case-insensitively. *)
+
+val get_all : t -> string -> string list
+val mem : t -> string -> bool
+
+val parse_cookies : t -> (string * string) list
+(** All cookies from every [Cookie:] header. *)
+
+val set_cookie : t -> name:string -> value:string -> t
+(** Adds a [Set-Cookie:] header. *)
+
+val cookies_set_by : t -> (string * string) list
+(** Cookies announced by [Set-Cookie:] headers in a response. *)

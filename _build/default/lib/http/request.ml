@@ -1,0 +1,30 @@
+type meth =
+  | GET
+  | POST
+
+type t = {
+  meth : meth;
+  uri : Uri.t;
+  headers : Headers.t;
+  body : (string * string) list;
+  client : string;
+}
+
+let make ?(headers = Headers.empty) ?(body = []) ?(client = "anonymous") meth
+    target =
+  { meth; uri = Uri.parse target; headers; body; client }
+
+let param t key =
+  match Uri.query_get t.uri key with
+  | Some _ as v -> v
+  | None -> List.assoc_opt key t.body
+
+let param_or t key ~default = Option.value (param t key) ~default
+let cookie t name = List.assoc_opt name (Headers.parse_cookies t.headers)
+
+let pp_meth fmt = function
+  | GET -> Format.pp_print_string fmt "GET"
+  | POST -> Format.pp_print_string fmt "POST"
+
+let pp fmt t =
+  Format.fprintf fmt "%a %a (client=%s)" pp_meth t.meth Uri.pp t.uri t.client

@@ -1,0 +1,27 @@
+(** HTTP requests as seen by the W5 front-end. *)
+
+type meth =
+  | GET
+  | POST
+
+type t = {
+  meth : meth;
+  uri : Uri.t;
+  headers : Headers.t;
+  body : (string * string) list;  (** decoded form fields for POST *)
+  client : string;  (** opaque client identity: who is on the other end *)
+}
+
+val make :
+  ?headers:Headers.t -> ?body:(string * string) list -> ?client:string ->
+  meth -> string -> t
+(** [make meth target] parses [target] as a {!Uri.t}. [client]
+    defaults to ["anonymous"]. *)
+
+val param : t -> string -> string option
+(** Query parameter or form field, query first. *)
+
+val param_or : t -> string -> default:string -> string
+val cookie : t -> string -> string option
+val pp_meth : Format.formatter -> meth -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+type status =
+  | Ok_200
+  | Redirect_302
+  | Bad_request_400
+  | Unauthorized_401
+  | Forbidden_403
+  | Not_found_404
+  | Too_many_requests_429
+  | Server_error_500
+
+type t = {
+  status : status;
+  headers : Headers.t;
+  body : string;
+}
+
+let status_code = function
+  | Ok_200 -> 200
+  | Redirect_302 -> 302
+  | Bad_request_400 -> 400
+  | Unauthorized_401 -> 401
+  | Forbidden_403 -> 403
+  | Not_found_404 -> 404
+  | Too_many_requests_429 -> 429
+  | Server_error_500 -> 500
+
+let status_reason = function
+  | Ok_200 -> "OK"
+  | Redirect_302 -> "Found"
+  | Bad_request_400 -> "Bad Request"
+  | Unauthorized_401 -> "Unauthorized"
+  | Forbidden_403 -> "Forbidden"
+  | Not_found_404 -> "Not Found"
+  | Too_many_requests_429 -> "Too Many Requests"
+  | Server_error_500 -> "Internal Server Error"
+
+let make ?(headers = Headers.empty) status body = { status; headers; body }
+let ok ?headers body = make ?headers Ok_200 body
+
+let html ?(headers = Headers.empty) body =
+  make ~headers:(Headers.set headers "Content-Type" "text/html") Ok_200 body
+
+let redirect location =
+  make ~headers:(Headers.set Headers.empty "Location" location) Redirect_302 ""
+
+let forbidden reason = make Forbidden_403 ("forbidden: " ^ reason)
+let unauthorized reason = make Unauthorized_401 ("unauthorized: " ^ reason)
+let not_found what = make Not_found_404 ("not found: " ^ what)
+let bad_request reason = make Bad_request_400 ("bad request: " ^ reason)
+let server_error reason = make Server_error_500 ("error: " ^ reason)
+let too_many_requests reason = make Too_many_requests_429 reason
+
+let with_cookie t ~name ~value =
+  { t with headers = Headers.set_cookie t.headers ~name ~value }
+
+let is_success t = t.status = Ok_200 || t.status = Redirect_302
+
+let pp fmt t =
+  Format.fprintf fmt "%d %s (%d bytes)" (status_code t.status)
+    (status_reason t.status) (String.length t.body)

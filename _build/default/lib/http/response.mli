@@ -1,0 +1,37 @@
+(** HTTP responses produced by the W5 perimeter. *)
+
+type status =
+  | Ok_200
+  | Redirect_302
+  | Bad_request_400
+  | Unauthorized_401
+  | Forbidden_403
+  | Not_found_404
+  | Too_many_requests_429
+  | Server_error_500
+
+type t = {
+  status : status;
+  headers : Headers.t;
+  body : string;
+}
+
+val status_code : status -> int
+val status_reason : status -> string
+
+val make : ?headers:Headers.t -> status -> string -> t
+val ok : ?headers:Headers.t -> string -> t
+val html : ?headers:Headers.t -> string -> t
+val redirect : string -> t
+val forbidden : string -> t
+(** The perimeter's answer when information flow blocks an export.
+    The body carries only the data-free denial explanation. *)
+
+val unauthorized : string -> t
+val not_found : string -> t
+val bad_request : string -> t
+val server_error : string -> t
+val too_many_requests : string -> t
+val with_cookie : t -> name:string -> value:string -> t
+val is_success : t -> bool
+val pp : Format.formatter -> t -> unit

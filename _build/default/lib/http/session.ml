@@ -1,0 +1,34 @@
+type session = {
+  sid : string;
+  user : string;
+  created_at : int;
+}
+
+type t = {
+  sessions : (string, session) Hashtbl.t;
+  mutable counter : int;
+}
+
+let cookie_name = "w5sid"
+let create () = { sessions = Hashtbl.create 64; counter = 0 }
+
+let start t ~user ~now =
+  t.counter <- t.counter + 1;
+  (* A simulation-grade id: unique and unguessable enough for tests;
+     real deployments would use a CSPRNG (DESIGN.md §7). *)
+  let sid = Printf.sprintf "sid-%d-%d-%s" t.counter (Hashtbl.hash (user, t.counter, now)) user in
+  let session = { sid; user; created_at = now } in
+  Hashtbl.replace t.sessions sid session;
+  session
+
+let find t ~sid = Hashtbl.find_opt t.sessions sid
+let destroy t ~sid = Hashtbl.remove t.sessions sid
+let active t = Hashtbl.length t.sessions
+
+let expire_older_than t ~tick =
+  let old =
+    Hashtbl.fold
+      (fun sid s acc -> if s.created_at < tick then sid :: acc else acc)
+      t.sessions []
+  in
+  List.iter (Hashtbl.remove t.sessions) old

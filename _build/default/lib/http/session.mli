@@ -1,0 +1,25 @@
+(** Server-side session table.
+
+    Maps opaque session-id cookies to an authenticated user name. The
+    provider's login front-end creates sessions; the gateway consults
+    them on every request. Ids are drawn from a deterministic
+    generator (this is a simulation — see DESIGN.md §7 on crypto). *)
+
+type t
+
+val cookie_name : string
+(** ["w5sid"]. *)
+
+type session = {
+  sid : string;
+  user : string;
+  created_at : int;   (** kernel tick *)
+}
+
+val create : unit -> t
+val start : t -> user:string -> now:int -> session
+val find : t -> sid:string -> session option
+val destroy : t -> sid:string -> unit
+val active : t -> int
+val expire_older_than : t -> tick:int -> unit
+(** Drop sessions created strictly before [tick]. *)

@@ -1,0 +1,96 @@
+type t = {
+  path : string;
+  segments : string list;
+  query : (string * string) list;
+}
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let percent_decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | '+' ->
+          Buffer.add_char buf ' ';
+          go (i + 1)
+      | '%' when i + 2 < n -> (
+          match (hex_val s.[i + 1], hex_val s.[i + 2]) with
+          | Some hi, Some lo ->
+              Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+              go (i + 3)
+          | _ ->
+              Buffer.add_char buf '%';
+              go (i + 1))
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+let unreserved c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | '~' | '/' -> true
+  | _ -> false
+
+let percent_encode s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if unreserved c then Buffer.add_char buf c
+      else Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let parse_query qs =
+  if qs = "" then []
+  else
+    String.split_on_char '&' qs
+    |> List.filter_map (fun pair ->
+           if pair = "" then None
+           else
+             match String.index_opt pair '=' with
+             | None -> Some (percent_decode pair, "")
+             | Some i ->
+                 Some
+                   ( percent_decode (String.sub pair 0 i),
+                     percent_decode
+                       (String.sub pair (i + 1) (String.length pair - i - 1))
+                   ))
+
+let parse raw =
+  let path_part, query_part =
+    match String.index_opt raw '?' with
+    | None -> (raw, "")
+    | Some i ->
+        (String.sub raw 0 i, String.sub raw (i + 1) (String.length raw - i - 1))
+  in
+  let segments =
+    String.split_on_char '/' path_part
+    |> List.filter (fun s -> s <> "" && s <> ".")
+    |> List.map percent_decode
+  in
+  let path = "/" ^ String.concat "/" segments in
+  { path; segments; query = parse_query query_part }
+
+let query_get t key = List.assoc_opt key t.query
+
+let with_query path params =
+  if params = [] then path
+  else
+    path ^ "?"
+    ^ String.concat "&"
+        (List.map
+           (fun (k, v) -> percent_encode k ^ "=" ^ percent_encode v)
+           params)
+
+let to_string t = with_query t.path t.query
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,23 @@
+(** Minimal URI handling for the W5 front-end.
+
+    Supports the subset the platform needs: absolute-path references
+    with optional query strings, e.g. ["/devA/crop?photo=p1&size=2"].
+    Percent-decoding covers [%XX] escapes and ['+'] for space. *)
+
+type t = {
+  path : string;           (** normalized, always starts with ["/"] *)
+  segments : string list;  (** path split on ["/"], no empties *)
+  query : (string * string) list;
+}
+
+val parse : string -> t
+(** Never fails: malformed escapes are kept literally. *)
+
+val percent_decode : string -> string
+val percent_encode : string -> string
+val query_get : t -> string -> string option
+val with_query : string -> (string * string) list -> string
+(** [with_query "/a/b" ["k","v"]] renders ["/a/b?k=v"] with encoding. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/os/audit.ml: Flow Format List Resource Tag W5_difc

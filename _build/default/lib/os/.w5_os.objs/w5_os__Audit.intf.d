@@ -1,0 +1,1 @@
+lib/os/audit.mli: Flow Format Resource Tag W5_difc

@@ -1,0 +1,1 @@
+lib/os/fs.ml: Array Buffer Char Flow Hashtbl Label List Option Os_error Printf Result String Tag W5_difc

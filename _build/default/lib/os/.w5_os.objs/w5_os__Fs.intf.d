@@ -1,0 +1,1 @@
+lib/os/fs.mli: Flow Os_error W5_difc

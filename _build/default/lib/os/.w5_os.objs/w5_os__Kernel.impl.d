@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Audit Capability Flow Fs Hashtbl Int List Os_error Principal Printexc Proc Queue Resource Result String W5_difc

@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Audit Capability Flow Fs Os_error Principal Proc Resource W5_difc

@@ -1,0 +1,1 @@
+lib/os/os_error.ml: Flow Format Resource W5_difc

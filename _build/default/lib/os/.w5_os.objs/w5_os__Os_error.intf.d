@@ -1,0 +1,1 @@
+lib/os/os_error.mli: Flow Format Resource W5_difc

@@ -1,0 +1,1 @@
+lib/os/proc.ml: Capability Flow Format Principal Queue Resource W5_difc

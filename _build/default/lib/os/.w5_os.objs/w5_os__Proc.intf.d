@@ -1,0 +1,1 @@
+lib/os/proc.mli: Capability Flow Format Principal Queue Resource W5_difc

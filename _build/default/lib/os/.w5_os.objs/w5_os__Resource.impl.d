@@ -1,0 +1,1 @@
+lib/os/resource.ml: Format

@@ -1,0 +1,1 @@
+lib/os/service.ml: Capability Flow Kernel List Os_error Printexc Proc Queue Resource Result Syscall W5_difc

@@ -1,0 +1,1 @@
+lib/os/service.mli: Capability Flow Kernel Os_error Principal Proc Resource W5_difc

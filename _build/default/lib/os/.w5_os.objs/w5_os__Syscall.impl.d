@@ -1,0 +1,1 @@
+lib/os/syscall.ml: Audit Capability Flow Fs Kernel Label Option Os_error Proc Queue Resource Result String Tag W5_difc

@@ -1,0 +1,1 @@
+lib/os/syscall.mli: Capability Flow Fs Kernel Label Os_error Principal Proc Resource Tag W5_difc

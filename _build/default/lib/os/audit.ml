@@ -1,0 +1,100 @@
+open W5_difc
+
+type event =
+  | Flow_checked of {
+      op : string;
+      src : Flow.labels;
+      dst : Flow.labels;
+      decision : (unit, Flow.denial) result;
+    }
+  | Label_changed of {
+      old_labels : Flow.labels;
+      new_labels : Flow.labels;
+      decision : (unit, Flow.denial) result;
+    }
+  | Export_attempted of {
+      destination : string;
+      labels : Flow.labels;
+      decision : (unit, Flow.denial) result;
+    }
+  | Declassified of { tag : Tag.t; context : string }
+  | Spawned of { child : int; name : string }
+  | Gate_invoked of { gate : string; child : int }
+  | Killed of { reason : string }
+  | Quota_hit of Resource.kind
+  | App_note of string
+
+type entry = {
+  seq : int;
+  tick : int;
+  pid : int;
+  event : event;
+}
+
+type log = {
+  mutable seq : int;
+  mutable items : entry list;  (* newest first *)
+  mutable count : int;
+  capacity : int option;
+}
+
+let create ?capacity () = { seq = 0; items = []; count = 0; capacity }
+
+let record log ~tick ~pid event =
+  log.seq <- log.seq + 1;
+  log.items <- { seq = log.seq; tick; pid; event } :: log.items;
+  log.count <- log.count + 1;
+  match log.capacity with
+  | Some cap when log.count > 2 * cap ->
+      (* amortized truncation: keep the newest [cap] entries *)
+      log.items <- List.filteri (fun i _ -> i < cap) log.items;
+      log.count <- cap
+  | Some _ | None -> ()
+
+let length log = log.count
+let entries log = List.rev log.items
+let find log ~f = List.rev (List.filter f log.items)
+
+let is_denial entry =
+  match entry.event with
+  | Flow_checked { decision = Error _; _ }
+  | Label_changed { decision = Error _; _ }
+  | Export_attempted { decision = Error _; _ } ->
+      true
+  | Flow_checked _ | Label_changed _ | Export_attempted _ | Declassified _
+  | Spawned _ | Gate_invoked _ | Killed _ | Quota_hit _ | App_note _ ->
+      false
+
+let denials log = find log ~f:is_denial
+let for_pid log pid = find log ~f:(fun e -> e.pid = pid)
+
+let clear log =
+  log.seq <- 0;
+  log.items <- [];
+  log.count <- 0
+
+let pp_decision fmt = function
+  | Ok () -> Format.pp_print_string fmt "ALLOW"
+  | Error d -> Format.fprintf fmt "DENY(%a)" Flow.pp_denial d
+
+let pp_event fmt = function
+  | Flow_checked { op; src; dst; decision } ->
+      Format.fprintf fmt "flow %s [%a] -> [%a]: %a" op Flow.pp_labels src
+        Flow.pp_labels dst pp_decision decision
+  | Label_changed { old_labels; new_labels; decision } ->
+      Format.fprintf fmt "relabel [%a] -> [%a]: %a" Flow.pp_labels old_labels
+        Flow.pp_labels new_labels pp_decision decision
+  | Export_attempted { destination; labels; decision } ->
+      Format.fprintf fmt "export to %s [%a]: %a" destination Flow.pp_labels
+        labels pp_decision decision
+  | Declassified { tag; context } ->
+      Format.fprintf fmt "declassify %a (%s)" Tag.pp tag context
+  | Spawned { child; name } -> Format.fprintf fmt "spawn #%d %s" child name
+  | Gate_invoked { gate; child } ->
+      Format.fprintf fmt "gate %s -> #%d" gate child
+  | Killed { reason } -> Format.fprintf fmt "killed: %s" reason
+  | Quota_hit k -> Format.fprintf fmt "quota hit: %a" Resource.pp_kind k
+  | App_note s -> Format.fprintf fmt "note: %s" s
+
+let pp_entry fmt (e : entry) =
+  Format.fprintf fmt "#%d t=%d pid=%d %a" e.seq e.tick e.pid pp_event e.event

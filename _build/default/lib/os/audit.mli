@@ -1,0 +1,62 @@
+(** The kernel audit log (§3.5 "Debugging").
+
+    W5 cannot hand core dumps to developers — a dump of a process that
+    read private data *is* private data. Instead the kernel records
+    every security decision as a structured, data-free event. A
+    developer (or the provider) can query the log for their own
+    processes' denials; the log stores labels and tag names but never
+    user bytes. *)
+
+open W5_difc
+
+(** What happened. *)
+type event =
+  | Flow_checked of {
+      op : string;               (** e.g. ["fs.read"], ["ipc.send"] *)
+      src : Flow.labels;
+      dst : Flow.labels;
+      decision : (unit, Flow.denial) result;
+    }
+  | Label_changed of {
+      old_labels : Flow.labels;
+      new_labels : Flow.labels;
+      decision : (unit, Flow.denial) result;
+    }
+  | Export_attempted of {
+      destination : string;
+      labels : Flow.labels;
+      decision : (unit, Flow.denial) result;
+    }
+  | Declassified of { tag : Tag.t; context : string }
+  | Spawned of { child : int; name : string }
+  | Gate_invoked of { gate : string; child : int }
+  | Killed of { reason : string }
+  | Quota_hit of Resource.kind
+  | App_note of string  (** a developer-supplied, data-free debug note *)
+
+type entry = {
+  seq : int;
+  tick : int;       (** kernel logical clock at the time of the event *)
+  pid : int;        (** acting process, 0 for the kernel itself *)
+  event : event;
+}
+
+type log
+
+val create : ?capacity:int -> unit -> log
+(** [capacity] bounds the log for long-running providers: once
+    exceeded, the oldest entries are discarded (sequence numbers keep
+    counting, so truncation is observable). Unbounded by default. *)
+
+val record : log -> tick:int -> pid:int -> event -> unit
+val length : log -> int
+val entries : log -> entry list
+(** Oldest first. *)
+
+val find : log -> f:(entry -> bool) -> entry list
+val denials : log -> entry list
+(** Only the entries whose decision was a denial. *)
+
+val for_pid : log -> int -> entry list
+val clear : log -> unit
+val pp_entry : Format.formatter -> entry -> unit

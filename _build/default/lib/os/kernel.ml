@@ -1,0 +1,191 @@
+open W5_difc
+
+type gate = {
+  g_owner : Principal.t;
+  g_caps : Capability.Set.t;
+  g_entry : ctx -> string -> unit;
+}
+
+and t = {
+  k_fs : Fs.t;
+  k_audit : Audit.log;
+  procs : (int, Proc.t) Hashtbl.t;
+  mutable next_pid : int;
+  pending : (Proc.t * body) Queue.t;
+  bodies : (int, body) Hashtbl.t;
+  gates : (string, gate) Hashtbl.t;
+  mutable k_tick : int;
+  mutable k_enforcing : bool;
+  k_principal : Principal.t;
+}
+
+and ctx = {
+  kernel : t;
+  proc : Proc.t;
+}
+
+and body = ctx -> unit
+
+exception Quota_kill of Resource.kind
+
+let create ?(enforcing = true) ?audit_capacity () =
+  {
+    k_fs = Fs.create ();
+    k_audit = Audit.create ?capacity:audit_capacity ();
+    procs = Hashtbl.create 64;
+    next_pid = 0;
+    pending = Queue.create ();
+    bodies = Hashtbl.create 64;
+    gates = Hashtbl.create 16;
+    k_tick = 0;
+    k_enforcing = enforcing;
+    k_principal = Principal.make Principal.Provider "kernel";
+  }
+
+let enforcing k = k.k_enforcing
+let set_enforcing k b = k.k_enforcing <- b
+let fs k = k.k_fs
+let audit k = k.k_audit
+let tick k = k.k_tick
+let advance_clock k = k.k_tick <- k.k_tick + 1
+let kernel_principal k = k.k_principal
+let record k ~pid event = Audit.record k.k_audit ~tick:k.k_tick ~pid event
+
+let fresh_pid k =
+  k.next_pid <- k.next_pid + 1;
+  k.next_pid
+
+let spawn k ?parent ~name ~owner ~labels ~caps ~limits body =
+  let checked =
+    match parent with
+    | None -> Ok ()
+    | Some p when not k.k_enforcing ->
+        Result.map (fun () -> ())
+          (Result.map_error
+             (fun kind -> Os_error.Quota_exceeded kind)
+             (Resource.charge p.Proc.usage p.Proc.limits Resource.Processes 1))
+    | Some p -> (
+        match Resource.charge p.Proc.usage p.Proc.limits Resource.Processes 1 with
+        | Error kind -> Error (Os_error.Quota_exceeded kind)
+        | Ok () ->
+            if not (Capability.Set.subset caps p.Proc.caps) then
+              Error
+                (Os_error.Permission
+                   "spawn: child capabilities exceed parent's")
+            else
+              Result.map_error
+                (fun d -> Os_error.Denied d)
+                (Flow.check_labels_change ~caps:p.Proc.caps
+                   ~old_labels:p.Proc.labels ~new_labels:labels))
+  in
+  match checked with
+  | Error _ as e -> e
+  | Ok () ->
+      let pid = fresh_pid k in
+      let proc = Proc.make ~pid ~name ~owner ~labels ~caps ~limits in
+      Hashtbl.replace k.procs pid proc;
+      Hashtbl.replace k.bodies pid body;
+      Queue.add (proc, body) k.pending;
+      let actor = match parent with Some p -> p.Proc.pid | None -> 0 in
+      record k ~pid:actor (Audit.Spawned { child = pid; name });
+      Ok proc
+
+let run_proc k proc =
+  match proc.Proc.state with
+  | Proc.Running | Proc.Exited | Proc.Killed _ -> ()
+  | Proc.Runnable -> (
+      match Hashtbl.find_opt k.bodies proc.Proc.pid with
+      | None -> proc.Proc.state <- Proc.Exited
+      | Some body -> (
+          proc.Proc.state <- Proc.Running;
+          advance_clock k;
+          try
+            body { kernel = k; proc };
+            proc.Proc.state <- Proc.Exited
+          with
+          | Quota_kill kind ->
+              Proc.kill proc
+                ~reason:("quota: " ^ Resource.kind_to_string kind);
+              record k ~pid:proc.Proc.pid (Audit.Quota_hit kind);
+              record k ~pid:proc.Proc.pid
+                (Audit.Killed
+                   { reason = "quota: " ^ Resource.kind_to_string kind })
+          | exn ->
+              let reason = "uncaught: " ^ Printexc.to_string exn in
+              Proc.kill proc ~reason;
+              record k ~pid:proc.Proc.pid (Audit.Killed { reason })))
+
+let run k =
+  let rec drain () =
+    match Queue.take_opt k.pending with
+    | None -> ()
+    | Some (proc, _) ->
+        run_proc k proc;
+        drain ()
+  in
+  drain ()
+
+let find_proc k pid = Hashtbl.find_opt k.procs pid
+
+let processes k =
+  Hashtbl.fold (fun _ p acc -> p :: acc) k.procs []
+  |> List.sort (fun a b -> Int.compare a.Proc.pid b.Proc.pid)
+
+let reap k =
+  let dead =
+    Hashtbl.fold
+      (fun pid p acc -> if Proc.is_alive p then acc else pid :: acc)
+      k.procs []
+  in
+  List.iter
+    (fun pid ->
+      Hashtbl.remove k.procs pid;
+      Hashtbl.remove k.bodies pid)
+    dead;
+  (* drop dead processes from the run queue too, or their records
+     (and closures) stay reachable forever *)
+  let live = Queue.create () in
+  Queue.iter
+    (fun ((proc, _) as entry) ->
+      if Proc.is_alive proc then Queue.add entry live)
+    k.pending;
+  Queue.clear k.pending;
+  Queue.transfer live k.pending;
+  List.length dead
+
+let live_process_count k =
+  Hashtbl.fold (fun _ p acc -> if Proc.is_alive p then acc + 1 else acc) k.procs 0
+
+let register_gate k ~name ~owner ~caps ~entry =
+  Hashtbl.replace k.gates name { g_owner = owner; g_caps = caps; g_entry = entry }
+
+let gate_exists k name = Hashtbl.mem k.gates name
+
+let gate_names k =
+  Hashtbl.fold (fun name _ acc -> name :: acc) k.gates []
+  |> List.sort String.compare
+
+let invoke_gate k ~caller ~name ~arg =
+  match Hashtbl.find_opt k.gates name with
+  | None -> Error (Os_error.No_such_gate name)
+  | Some gate -> (
+      match
+        Resource.charge caller.Proc.usage caller.Proc.limits
+          Resource.Processes 1
+      with
+      | Error kind -> Error (Os_error.Quota_exceeded kind)
+      | Ok () ->
+          let pid = fresh_pid k in
+          let proc =
+            Proc.make ~pid
+              ~name:("gate:" ^ name)
+              ~owner:gate.g_owner ~labels:caller.Proc.labels ~caps:gate.g_caps
+              ~limits:Resource.default_app_limits
+          in
+          Hashtbl.replace k.procs pid proc;
+          let body ctx = gate.g_entry ctx arg in
+          Hashtbl.replace k.bodies pid body;
+          record k ~pid:caller.Proc.pid
+            (Audit.Gate_invoked { gate = name; child = pid });
+          run_proc k proc;
+          Ok proc)

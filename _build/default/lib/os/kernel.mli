@@ -1,0 +1,95 @@
+(** The simulated W5 kernel.
+
+    Holds the labeled filesystem, the process table, the audit log,
+    the gate registry and a logical clock. The kernel is the trusted
+    computing base of the simulation: applications only ever touch it
+    through {!Syscall}.
+
+    {b Gates} are the privilege-transfer mechanism (after Flume's
+    setlabel files / HiStar gates): a gate bundles an entry point with
+    a capability set; invoking it spawns a process that runs the entry
+    point with the gate's capabilities rather than the caller's. This
+    is how a declassifier obtains the [t-] capability for a user's
+    secrecy tag without the calling application ever holding it. *)
+
+open W5_difc
+
+type t
+
+(** The execution context handed to every process body: the kernel it
+    runs on and its own process record. *)
+type ctx = {
+  kernel : t;
+  proc : Proc.t;
+}
+
+type body = ctx -> unit
+
+exception Quota_kill of Resource.kind
+(** Raised inside a process body by the syscall layer when a resource
+    limit is exceeded; caught by the kernel, which kills the process. *)
+
+val create : ?enforcing:bool -> ?audit_capacity:int -> unit -> t
+(** A fresh kernel with an empty filesystem. [enforcing] (default
+    [true]) turns the IFC checks on; with it off the mechanism runs
+    but every check passes — this is the baseline arm of the overhead
+    benchmark (P1), {e never} a production configuration.
+    [audit_capacity] bounds the audit log (see {!Audit.create});
+    unbounded by default. *)
+
+val enforcing : t -> bool
+val set_enforcing : t -> bool -> unit
+val fs : t -> Fs.t
+val audit : t -> Audit.log
+val tick : t -> int
+val advance_clock : t -> unit
+val kernel_principal : t -> Principal.t
+
+val spawn :
+  t -> ?parent:Proc.t -> name:string -> owner:Principal.t ->
+  labels:Flow.labels -> caps:Capability.Set.t -> limits:Resource.limits ->
+  body -> (Proc.t, Os_error.t) result
+(** Create a process and queue it. With [parent] set (the normal case
+    for application code) the kernel checks that the child's
+    capabilities are a subset of the parent's and that the child's
+    labels are reachable from the parent's by a safe label change;
+    parentless spawns are reserved for the platform itself. *)
+
+val run_proc : t -> Proc.t -> unit
+(** Execute the process body to completion now (if still runnable).
+    Quota kills and uncaught application exceptions are converted to
+    [Killed] states and audited; they do not escape. *)
+
+val run : t -> unit
+(** Drain the run queue, executing queued processes in FIFO order
+    (processes spawned during the drain are executed too). *)
+
+val find_proc : t -> int -> Proc.t option
+val processes : t -> Proc.t list
+
+val reap : t -> int
+(** Drop exited and killed processes (and their bodies) from the
+    process table; returns how many were collected. A long-running
+    provider calls this periodically — the gateway does so
+    automatically once the table exceeds a watermark. *)
+
+val live_process_count : t -> int
+
+val register_gate :
+  t -> name:string -> owner:Principal.t -> caps:Capability.Set.t ->
+  entry:(ctx -> string -> unit) -> unit
+(** Registering overwrites any previous gate with the same name. *)
+
+val gate_exists : t -> string -> bool
+val gate_names : t -> string list
+
+val invoke_gate :
+  t -> caller:Proc.t -> name:string -> arg:string ->
+  (Proc.t, Os_error.t) result
+(** Spawn a child carrying the {e caller's} labels but the {e gate's}
+    capabilities, run it synchronously on [arg], and return it (its
+    answer, if any, is in [child.Proc.response]). The caller is
+    charged one process. *)
+
+val record : t -> pid:int -> Audit.event -> unit
+(** Append to the audit log at the current tick. *)

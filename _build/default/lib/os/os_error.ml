@@ -1,0 +1,31 @@
+open W5_difc
+
+type t =
+  | Denied of Flow.denial
+  | Not_found of string
+  | Already_exists of string
+  | Not_a_directory of string
+  | Is_a_directory of string
+  | Quota_exceeded of Resource.kind
+  | No_such_process of int
+  | Dead_process of int
+  | No_such_gate of string
+  | Permission of string
+  | Invalid of string
+
+let pp fmt = function
+  | Denied d -> Format.fprintf fmt "denied: %a" Flow.pp_denial d
+  | Not_found p -> Format.fprintf fmt "not found: %s" p
+  | Already_exists p -> Format.fprintf fmt "already exists: %s" p
+  | Not_a_directory p -> Format.fprintf fmt "not a directory: %s" p
+  | Is_a_directory p -> Format.fprintf fmt "is a directory: %s" p
+  | Quota_exceeded k -> Format.fprintf fmt "quota exceeded: %a" Resource.pp_kind k
+  | No_such_process pid -> Format.fprintf fmt "no such process: %d" pid
+  | Dead_process pid -> Format.fprintf fmt "dead process: %d" pid
+  | No_such_gate g -> Format.fprintf fmt "no such gate: %s" g
+  | Permission m -> Format.fprintf fmt "permission: %s" m
+  | Invalid m -> Format.fprintf fmt "invalid: %s" m
+
+let to_string e = Format.asprintf "%a" pp e
+let equal a b = to_string a = to_string b
+let is_denied = function Denied _ -> true | _ -> false

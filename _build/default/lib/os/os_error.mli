@@ -1,0 +1,24 @@
+(** The error type shared by every kernel service and syscall. *)
+
+open W5_difc
+
+type t =
+  | Denied of Flow.denial        (** an information-flow check failed *)
+  | Not_found of string          (** no such path / object *)
+  | Already_exists of string
+  | Not_a_directory of string
+  | Is_a_directory of string
+  | Quota_exceeded of Resource.kind
+  | No_such_process of int
+  | Dead_process of int
+  | No_such_gate of string
+  | Permission of string         (** a non-IFC authorization failure *)
+  | Invalid of string            (** malformed argument *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool
+
+val is_denied : t -> bool
+(** True for IFC denials specifically — what the adversarial test
+    battery asserts on. *)

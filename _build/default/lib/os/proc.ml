@@ -1,0 +1,58 @@
+open W5_difc
+
+type message = {
+  sender : int;
+  msg_labels : Flow.labels;
+  body : string;
+  granted : Capability.Set.t;
+}
+
+type state =
+  | Runnable
+  | Running
+  | Exited
+  | Killed of string
+
+type t = {
+  pid : int;
+  proc_name : string;
+  owner : Principal.t;
+  mutable labels : Flow.labels;
+  mutable caps : Capability.Set.t;
+  mailbox : message Queue.t;
+  usage : Resource.usage;
+  limits : Resource.limits;
+  mutable state : state;
+  mutable response : (string * Flow.labels) option;
+}
+
+let make ~pid ~name ~owner ~labels ~caps ~limits =
+  {
+    pid;
+    proc_name = name;
+    owner;
+    labels;
+    caps;
+    mailbox = Queue.create ();
+    usage = Resource.fresh_usage ();
+    limits;
+    state = Runnable;
+    response = None;
+  }
+
+let is_alive p =
+  match p.state with
+  | Runnable | Running -> true
+  | Exited | Killed _ -> false
+
+let kill p ~reason = p.state <- Killed reason
+
+let pp_state fmt = function
+  | Runnable -> Format.pp_print_string fmt "runnable"
+  | Running -> Format.pp_print_string fmt "running"
+  | Exited -> Format.pp_print_string fmt "exited"
+  | Killed r -> Format.fprintf fmt "killed(%s)" r
+
+let pp fmt p =
+  Format.fprintf fmt "proc#%d %s owner=%a %a state=%a" p.pid p.proc_name
+    Principal.pp p.owner Flow.pp_labels p.labels pp_state p.state

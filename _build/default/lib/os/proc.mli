@@ -1,0 +1,48 @@
+(** Kernel process records.
+
+    A process is the unit of isolation: it carries a secrecy/integrity
+    label pair, a capability (ownership) set, a mailbox, resource
+    counters, and an optional response buffer used by the HTTP
+    gateway. All fields are mutated only by the kernel and the syscall
+    layer. *)
+
+open W5_difc
+
+(** An IPC message. Messages carry the sender's labels at send time
+    and may convey capabilities (checked at send). *)
+type message = {
+  sender : int;
+  msg_labels : Flow.labels;
+  body : string;
+  granted : Capability.Set.t;
+}
+
+type state =
+  | Runnable
+  | Running
+  | Exited
+  | Killed of string
+
+type t = {
+  pid : int;
+  proc_name : string;
+  owner : Principal.t;
+  mutable labels : Flow.labels;
+  mutable caps : Capability.Set.t;
+  mailbox : message Queue.t;
+  usage : Resource.usage;
+  limits : Resource.limits;
+  mutable state : state;
+  mutable response : (string * Flow.labels) option;
+      (** What the process answered to the request that spawned it,
+          together with the labels it carried at [respond] time. *)
+}
+
+val make :
+  pid:int -> name:string -> owner:Principal.t -> labels:Flow.labels ->
+  caps:Capability.Set.t -> limits:Resource.limits -> t
+
+val is_alive : t -> bool
+val kill : t -> reason:string -> unit
+val pp_state : Format.formatter -> state -> unit
+val pp : Format.formatter -> t -> unit

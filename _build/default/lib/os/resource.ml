@@ -1,0 +1,107 @@
+type kind =
+  | Cpu
+  | Memory
+  | Disk
+  | Messages
+  | Files
+  | Processes
+
+let kind_to_string = function
+  | Cpu -> "cpu"
+  | Memory -> "memory"
+  | Disk -> "disk"
+  | Messages -> "messages"
+  | Files -> "files"
+  | Processes -> "processes"
+
+let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
+
+type limits = {
+  cpu : int;
+  memory : int;
+  disk : int;
+  messages : int;
+  files : int;
+  processes : int;
+}
+
+let unlimited =
+  {
+    cpu = max_int;
+    memory = max_int;
+    disk = max_int;
+    messages = max_int;
+    files = max_int;
+    processes = max_int;
+  }
+
+let default_app_limits =
+  {
+    cpu = 100_000;
+    memory = 16 * 1024 * 1024;
+    disk = 64 * 1024 * 1024;
+    messages = 10_000;
+    files = 10_000;
+    processes = 64;
+  }
+
+let make_limits ?(cpu = max_int) ?(memory = max_int) ?(disk = max_int)
+    ?(messages = max_int) ?(files = max_int) ?(processes = max_int) () =
+  { cpu; memory; disk; messages; files; processes }
+
+type usage = {
+  mutable u_cpu : int;
+  mutable u_memory : int;
+  mutable u_disk : int;
+  mutable u_messages : int;
+  mutable u_files : int;
+  mutable u_processes : int;
+}
+
+let fresh_usage () =
+  {
+    u_cpu = 0;
+    u_memory = 0;
+    u_disk = 0;
+    u_messages = 0;
+    u_files = 0;
+    u_processes = 0;
+  }
+
+let used u = function
+  | Cpu -> u.u_cpu
+  | Memory -> u.u_memory
+  | Disk -> u.u_disk
+  | Messages -> u.u_messages
+  | Files -> u.u_files
+  | Processes -> u.u_processes
+
+let limit_of l = function
+  | Cpu -> l.cpu
+  | Memory -> l.memory
+  | Disk -> l.disk
+  | Messages -> l.messages
+  | Files -> l.files
+  | Processes -> l.processes
+
+let bump u k n =
+  match k with
+  | Cpu -> u.u_cpu <- u.u_cpu + n
+  | Memory -> u.u_memory <- u.u_memory + n
+  | Disk -> u.u_disk <- u.u_disk + n
+  | Messages -> u.u_messages <- u.u_messages + n
+  | Files -> u.u_files <- u.u_files + n
+  | Processes -> u.u_processes <- u.u_processes + n
+
+let charge u l k n =
+  bump u k n;
+  if used u k > limit_of l k then Error k else Ok ()
+
+let remaining u l k =
+  let r = limit_of l k - used u k in
+  if r < 0 then 0 else r
+
+let pp_usage fmt u =
+  Format.fprintf fmt
+    "cpu=%d mem=%d disk=%d msgs=%d files=%d procs=%d" u.u_cpu u.u_memory
+    u.u_disk u.u_messages u.u_files u.u_processes

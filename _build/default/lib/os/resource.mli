@@ -1,0 +1,55 @@
+(** Per-process resource accounting (§3.5 "Performance and resource
+    allocation").
+
+    Every process carries a usage counter and a set of limits; each
+    syscall charges the counter. A rogue application that loops,
+    floods IPC or fills the disk hits its own limits and is killed
+    without affecting other processes — the simulation analogue of
+    resource containers [Banga et al., OSDI 1999]. *)
+
+(** The resources the kernel meters. *)
+type kind =
+  | Cpu          (** syscall ticks — every kernel crossing costs at least one *)
+  | Memory       (** bytes resident in mailboxes and response buffers *)
+  | Disk         (** bytes written to the labeled filesystem *)
+  | Messages     (** IPC sends *)
+  | Files        (** file and directory creations *)
+  | Processes    (** spawned children *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val kind_to_string : kind -> string
+
+(** Hard limits; [max_int] means unlimited. *)
+type limits = {
+  cpu : int;
+  memory : int;
+  disk : int;
+  messages : int;
+  files : int;
+  processes : int;
+}
+
+val unlimited : limits
+
+val default_app_limits : limits
+(** The sandbox the platform gives a developer-contributed app by
+    default: generous enough for real work, small enough that a
+    runaway loop dies quickly. *)
+
+val make_limits :
+  ?cpu:int -> ?memory:int -> ?disk:int -> ?messages:int -> ?files:int ->
+  ?processes:int -> unit -> limits
+
+(** Mutable usage counters. *)
+type usage
+
+val fresh_usage : unit -> usage
+val used : usage -> kind -> int
+
+val charge : usage -> limits -> kind -> int -> (unit, kind) result
+(** [charge u l k n] adds [n] to the counter for [k]; [Error k] if the
+    limit would be exceeded (the counter is still advanced so repeated
+    calls keep failing). *)
+
+val remaining : usage -> limits -> kind -> int
+val pp_usage : Format.formatter -> usage -> unit

@@ -1,0 +1,515 @@
+open W5_difc
+
+type 'a r = ('a, Os_error.t) result
+
+let pid (ctx : Kernel.ctx) = ctx.proc.Proc.pid
+let my_labels (ctx : Kernel.ctx) = ctx.proc.Proc.labels
+let my_caps (ctx : Kernel.ctx) = ctx.proc.Proc.caps
+let my_owner (ctx : Kernel.ctx) = ctx.proc.Proc.owner
+let usage (ctx : Kernel.ctx) kind = Resource.used ctx.proc.Proc.usage kind
+
+(* Every syscall passes through [charge]; exceeding a limit raises and
+   the kernel kills the process, so quotas cannot be probed safely. *)
+let charge (ctx : Kernel.ctx) kind n =
+  match Resource.charge ctx.proc.Proc.usage ctx.proc.Proc.limits kind n with
+  | Ok () -> ()
+  | Error k -> raise (Kernel.Quota_kill k)
+
+let tick ctx =
+  charge ctx Resource.Cpu 1;
+  Kernel.advance_clock ctx.Kernel.kernel
+
+let enforcing (ctx : Kernel.ctx) = Kernel.enforcing ctx.kernel
+
+let audit_flow ctx ~op ~src ~dst decision =
+  Kernel.record ctx.Kernel.kernel ~pid:(pid ctx)
+    (Audit.Flow_checked { op; src; dst; decision })
+
+(* Flow check helper: returns [Ok ()] when enforcement is off, records
+   the decision in the audit log either way. *)
+let check_flow ctx ~op ~src ~dst =
+  if not (enforcing ctx) then Ok ()
+  else
+    let decision = Flow.check_flow src dst in
+    (match decision with
+    | Ok () -> ()
+    | Error _ -> audit_flow ctx ~op ~src ~dst decision);
+    Result.map_error (fun d -> Os_error.Denied d) decision
+
+(* Absorbing someone else's secrecy taint (a tainting read, an IPC
+   receive, a gate response) is normally free, but *restricted* tags —
+   read protection, §3.1 — require the [t+] capability before they may
+   enter the caller's label. *)
+let absorb ctx (incoming : Flow.labels) =
+  let proc = ctx.Kernel.proc in
+  let blocked =
+    if not (enforcing ctx) then Label.empty
+    else
+      Label.filter
+        (fun t ->
+          Tag.restricted t
+          && (not (Label.mem t proc.Proc.labels.Flow.secrecy))
+          && not (Capability.Set.can_add t proc.Proc.caps))
+        incoming.Flow.secrecy
+  in
+  if Label.is_empty blocked then begin
+    proc.Proc.labels <- Flow.join proc.Proc.labels incoming;
+    Ok ()
+  end
+  else begin
+    audit_flow ctx ~op:"absorb" ~src:incoming ~dst:proc.Proc.labels
+      (Error (Flow.Unauthorized_add blocked));
+    Error (Os_error.Denied (Flow.Unauthorized_add blocked))
+  end
+
+(* {1 Tags and labels} *)
+
+let create_tag ctx ?name ?restricted kind =
+  tick ctx;
+  let tag = Tag.fresh ?name ?restricted kind in
+  ctx.Kernel.proc.Proc.caps <-
+    Capability.Set.grant_dual tag ctx.Kernel.proc.Proc.caps;
+  Ok tag
+
+(* The platform's label-change conventions: secrecy may always grow
+   and integrity may always shrink; the opposite directions require
+   the matching capability. *)
+let check_label_change_conv ~caps ~(old_labels : Flow.labels)
+    ~(new_labels : Flow.labels) =
+  let dropped_secrecy =
+    Label.diff old_labels.Flow.secrecy new_labels.Flow.secrecy
+  in
+  let bad_drops =
+    Label.filter
+      (fun t -> not (Capability.Set.can_drop t caps))
+      dropped_secrecy
+  in
+  if not (Label.is_empty bad_drops) then
+    Error (Flow.Unauthorized_drop bad_drops)
+  else
+    let added_secrecy =
+      Label.diff new_labels.Flow.secrecy old_labels.Flow.secrecy
+    in
+    let bad_secrecy_adds =
+      Label.filter
+        (fun t -> Tag.restricted t && not (Capability.Set.can_add t caps))
+        added_secrecy
+    in
+    if not (Label.is_empty bad_secrecy_adds) then
+      Error (Flow.Unauthorized_add bad_secrecy_adds)
+    else
+      let added_integrity =
+        Label.diff new_labels.Flow.integrity old_labels.Flow.integrity
+      in
+      let bad_adds =
+        Label.filter
+          (fun t -> not (Capability.Set.can_add t caps))
+          added_integrity
+      in
+      if not (Label.is_empty bad_adds) then
+        Error (Flow.Unauthorized_add bad_adds)
+      else Ok ()
+
+let set_labels ctx new_labels =
+  tick ctx;
+  let proc = ctx.Kernel.proc in
+  let decision =
+    if not (enforcing ctx) then Ok ()
+    else
+      check_label_change_conv ~caps:proc.Proc.caps
+        ~old_labels:proc.Proc.labels ~new_labels
+  in
+  Kernel.record ctx.Kernel.kernel ~pid:proc.Proc.pid
+    (Audit.Label_changed
+       { old_labels = proc.Proc.labels; new_labels; decision });
+  match decision with
+  | Error d -> Error (Os_error.Denied d)
+  | Ok () ->
+      proc.Proc.labels <- new_labels;
+      Ok ()
+
+let add_taint ctx taint =
+  tick ctx;
+  (* self-tainting only raises secrecy; it says nothing about (and
+     must not erode) the caller's integrity *)
+  absorb ctx
+    (Flow.make ~secrecy:taint
+       ~integrity:ctx.Kernel.proc.Proc.labels.Flow.integrity ())
+
+let declassify_self ctx tag =
+  tick ctx;
+  let proc = ctx.Kernel.proc in
+  if enforcing ctx && not (Capability.Set.can_drop tag proc.Proc.caps) then
+    Error (Os_error.Denied (Flow.Unauthorized_drop (Label.singleton tag)))
+  else begin
+    proc.Proc.labels <-
+      {
+        proc.Proc.labels with
+        Flow.secrecy = Label.remove tag proc.Proc.labels.Flow.secrecy;
+      };
+    Kernel.record ctx.Kernel.kernel ~pid:proc.Proc.pid
+      (Audit.Declassified { tag; context = "self" });
+    Ok ()
+  end
+
+let endorse_self ctx tag =
+  tick ctx;
+  let proc = ctx.Kernel.proc in
+  if enforcing ctx && not (Capability.Set.can_add tag proc.Proc.caps) then
+    Error (Os_error.Denied (Flow.Unauthorized_add (Label.singleton tag)))
+  else begin
+    proc.Proc.labels <-
+      {
+        proc.Proc.labels with
+        Flow.integrity = Label.add tag proc.Proc.labels.Flow.integrity;
+      };
+    Ok ()
+  end
+
+let drop_integrity ctx tag =
+  tick ctx;
+  let proc = ctx.Kernel.proc in
+  proc.Proc.labels <-
+    {
+      proc.Proc.labels with
+      Flow.integrity = Label.remove tag proc.Proc.labels.Flow.integrity;
+    };
+  Ok ()
+
+let grant_cap ctx ~to_ cap =
+  tick ctx;
+  let proc = ctx.Kernel.proc in
+  if enforcing ctx && not (Capability.Set.mem cap proc.Proc.caps) then
+    Error (Os_error.Permission "grant_cap: capability not owned")
+  else
+    match Kernel.find_proc ctx.Kernel.kernel to_ with
+    | None -> Error (Os_error.No_such_process to_)
+    | Some target when not (Proc.is_alive target) ->
+        Error (Os_error.Dead_process to_)
+    | Some target -> (
+        match
+          check_flow ctx ~op:"cap.grant" ~src:proc.Proc.labels
+            ~dst:target.Proc.labels
+        with
+        | Error _ as e -> e
+        | Ok () ->
+            target.Proc.caps <- Capability.Set.add cap target.Proc.caps;
+            Ok ())
+
+let drop_cap ctx cap =
+  tick ctx;
+  let proc = ctx.Kernel.proc in
+  proc.Proc.caps <- Capability.Set.remove cap proc.Proc.caps;
+  Ok ()
+
+(* {1 Filesystem} *)
+
+let fs ctx = Kernel.fs ctx.Kernel.kernel
+
+let mkdir ctx path ~labels =
+  tick ctx;
+  charge ctx Resource.Files 1;
+  let proc = ctx.Kernel.proc in
+  match Fs.parent_labels (fs ctx) path with
+  | Error _ as e -> e
+  | Ok parent -> (
+      match
+        check_flow ctx ~op:"fs.mkdir" ~src:proc.Proc.labels ~dst:parent
+      with
+      | Error _ as e -> e
+      | Ok () -> (
+          match
+            check_flow ctx ~op:"fs.mkdir.labels" ~src:proc.Proc.labels
+              ~dst:labels
+          with
+          | Error _ as e -> e
+          | Ok () -> Fs.mkdir (fs ctx) path ~labels))
+
+let create_file ctx path ~labels ~data =
+  tick ctx;
+  charge ctx Resource.Files 1;
+  charge ctx Resource.Disk (String.length data);
+  let proc = ctx.Kernel.proc in
+  match Fs.parent_labels (fs ctx) path with
+  | Error _ as e -> e
+  | Ok parent -> (
+      match
+        check_flow ctx ~op:"fs.create" ~src:proc.Proc.labels ~dst:parent
+      with
+      | Error _ as e -> e
+      | Ok () -> (
+          match
+            check_flow ctx ~op:"fs.create.labels" ~src:proc.Proc.labels
+              ~dst:labels
+          with
+          | Error _ as e -> e
+          | Ok () -> Fs.create_file (fs ctx) path ~labels ~data))
+
+let read_file ctx path =
+  tick ctx;
+  let proc = ctx.Kernel.proc in
+  match Fs.read (fs ctx) path with
+  | Error _ as e -> e
+  | Ok (data, labels) -> (
+      match Fs.path_taint (fs ctx) path with
+      | Error _ as e -> e
+      | Ok lookup -> (
+          (* Reading is a flow from the file to the process: secrecy
+             accumulates the lookup path's taint; the integrity
+             condition considers the file alone (directories do not
+             vouch for their contents). A high-integrity process may
+             not strict-read low-integrity data — it must taint-read
+             (eroding its label) instead. *)
+          let src =
+            {
+              Flow.secrecy = Label.union labels.Flow.secrecy lookup.Flow.secrecy;
+              integrity = labels.Flow.integrity;
+            }
+          in
+          match
+            check_flow ctx ~op:"fs.read" ~src ~dst:proc.Proc.labels
+          with
+          | Error _ as e -> e
+          | Ok () ->
+              charge ctx Resource.Memory (String.length data);
+              Ok data))
+
+let read_file_taint ctx path =
+  tick ctx;
+  match Fs.read (fs ctx) path with
+  | Error _ as e -> e
+  | Ok (data, labels) -> (
+      match Fs.path_taint (fs ctx) path with
+      | Error _ as e -> e
+      | Ok lookup -> (
+          (* The lookup path adds secrecy but says nothing about
+             integrity; only the file itself erodes the reader's
+             integrity label. *)
+          let incoming =
+            {
+              Flow.secrecy =
+                Label.union labels.Flow.secrecy lookup.Flow.secrecy;
+              integrity = labels.Flow.integrity;
+            }
+          in
+          match absorb ctx incoming with
+          | Error _ as e -> e
+          | Ok () ->
+              charge ctx Resource.Memory (String.length data);
+              Ok data))
+
+let write_check ctx ~op path =
+  let proc = ctx.Kernel.proc in
+  match Fs.stat (fs ctx) path with
+  | Error _ as e -> e
+  | Ok st -> check_flow ctx ~op ~src:proc.Proc.labels ~dst:st.Fs.labels
+
+let write_file ctx path ~data =
+  tick ctx;
+  charge ctx Resource.Disk (String.length data);
+  match write_check ctx ~op:"fs.write" path with
+  | Error _ as e -> e
+  | Ok () -> Fs.write (fs ctx) path ~data
+
+let append_file ctx path ~data =
+  tick ctx;
+  charge ctx Resource.Disk (String.length data);
+  match write_check ctx ~op:"fs.append" path with
+  | Error _ as e -> e
+  | Ok () -> Fs.append (fs ctx) path ~data
+
+let unlink ctx path =
+  tick ctx;
+  let proc = ctx.Kernel.proc in
+  match Fs.parent_labels (fs ctx) path with
+  | Error _ as e -> e
+  | Ok parent -> (
+      match
+        check_flow ctx ~op:"fs.unlink.dir" ~src:proc.Proc.labels ~dst:parent
+      with
+      | Error _ as e -> e
+      | Ok () -> (
+          (* Deleting is a write to the object itself: write
+             protection (integrity) must authorize it. *)
+          match write_check ctx ~op:"fs.unlink" path with
+          | Error _ as e -> e
+          | Ok () -> Fs.unlink (fs ctx) path))
+
+let rename ctx ~src ~dst =
+  tick ctx;
+  let proc = ctx.Kernel.proc in
+  let parent_check label path =
+    match Fs.parent_labels (fs ctx) path with
+    | Error _ as e -> e
+    | Ok parent -> check_flow ctx ~op:label ~src:proc.Proc.labels ~dst:parent
+  in
+  match parent_check "fs.rename.src" src with
+  | Error _ as e -> e
+  | Ok () -> (
+      match parent_check "fs.rename.dst" dst with
+      | Error _ as e -> e
+      | Ok () -> (
+          match write_check ctx ~op:"fs.rename" src with
+          | Error _ as e -> e
+          | Ok () -> Fs.rename (fs ctx) ~src ~dst))
+
+let set_file_labels ctx path ~labels =
+  tick ctx;
+  let proc = ctx.Kernel.proc in
+  match Fs.stat (fs ctx) path with
+  | Error _ as e -> e
+  | Ok st -> (
+      match
+        check_flow ctx ~op:"fs.relabel" ~src:proc.Proc.labels
+          ~dst:st.Fs.labels
+      with
+      | Error _ as e -> e
+      | Ok () ->
+          let decision =
+            if not (enforcing ctx) then Ok ()
+            else
+              check_label_change_conv ~caps:proc.Proc.caps
+                ~old_labels:st.Fs.labels ~new_labels:labels
+          in
+          (match decision with
+          | Ok () -> ()
+          | Error _ ->
+              Kernel.record ctx.Kernel.kernel ~pid:proc.Proc.pid
+                (Audit.Label_changed
+                   { old_labels = st.Fs.labels; new_labels = labels; decision }));
+          (match decision with
+          | Error d -> Error (Os_error.Denied d)
+          | Ok () -> Fs.set_labels (fs ctx) path ~labels))
+
+let readdir ctx path =
+  tick ctx;
+  let proc = ctx.Kernel.proc in
+  match Fs.readdir (fs ctx) path with
+  | Error _ as e -> e
+  | Ok (names, labels) -> (
+      let src =
+        { labels with Flow.integrity = proc.Proc.labels.Flow.integrity }
+      in
+      match check_flow ctx ~op:"fs.readdir" ~src ~dst:proc.Proc.labels with
+      | Error _ as e -> e
+      | Ok () -> Ok names)
+
+let stat ctx path =
+  tick ctx;
+  Fs.stat (fs ctx) path
+
+let file_exists ctx path =
+  charge ctx Resource.Cpu 1;
+  Fs.exists (fs ctx) path
+
+(* {1 IPC} *)
+
+let send ctx ~to_ ?(grant = Capability.Set.empty) ?(use_caps = false) body =
+  tick ctx;
+  charge ctx Resource.Messages 1;
+  let proc = ctx.Kernel.proc in
+  if
+    enforcing ctx
+    && not (Capability.Set.subset grant proc.Proc.caps)
+  then Error (Os_error.Permission "send: granted capability not owned")
+  else
+    match Kernel.find_proc ctx.Kernel.kernel to_ with
+    | None -> Error (Os_error.No_such_process to_)
+    | Some target when not (Proc.is_alive target) ->
+        Error (Os_error.Dead_process to_)
+    | Some target -> (
+        (* A capability-exercising endpoint sheds every secrecy tag the
+           sender holds [t-] for: the message leaves declassified. *)
+        let declassified, effective_labels =
+          if use_caps then begin
+            let droppable =
+              Label.filter
+                (fun t -> Capability.Set.can_drop t proc.Proc.caps)
+                proc.Proc.labels.Flow.secrecy
+            in
+            ( droppable,
+              {
+                proc.Proc.labels with
+                Flow.secrecy = Label.diff proc.Proc.labels.Flow.secrecy droppable;
+              } )
+          end
+          else (Label.empty, proc.Proc.labels)
+        in
+        match
+          check_flow ctx ~op:"ipc.send" ~src:effective_labels
+            ~dst:target.Proc.labels
+        with
+        | Error _ as e -> e
+        | Ok () ->
+            Label.iter
+              (fun tag ->
+                Kernel.record ctx.Kernel.kernel ~pid:proc.Proc.pid
+                  (Audit.Declassified { tag; context = "ipc.send" }))
+              declassified;
+            Queue.add
+              {
+                Proc.sender = proc.Proc.pid;
+                msg_labels = effective_labels;
+                body;
+                granted = grant;
+              }
+              target.Proc.mailbox;
+            Ok ())
+
+let recv ctx =
+  tick ctx;
+  let proc = ctx.Kernel.proc in
+  match Queue.take_opt proc.Proc.mailbox with
+  | None -> Ok None
+  | Some msg -> (
+      (* A message the receiver may not absorb is dropped, not
+         re-queued: a blocked head must not wedge the mailbox. *)
+      match absorb ctx msg.Proc.msg_labels with
+      | Error _ as e -> e
+      | Ok () ->
+          charge ctx Resource.Memory (String.length msg.Proc.body);
+          proc.Proc.caps <- Capability.Set.union proc.Proc.caps msg.Proc.granted;
+          Ok (Some msg))
+
+(* {1 Processes and gates} *)
+
+let spawn ctx ~name ?labels ?(caps = Capability.Set.empty)
+    ?(limits = Resource.default_app_limits) body =
+  tick ctx;
+  let proc = ctx.Kernel.proc in
+  let labels = Option.value labels ~default:proc.Proc.labels in
+  Kernel.spawn ctx.Kernel.kernel ~parent:proc ~name ~owner:proc.Proc.owner
+    ~labels ~caps ~limits body
+
+let invoke_gate ctx name ~arg =
+  tick ctx;
+  let proc = ctx.Kernel.proc in
+  match Kernel.invoke_gate ctx.Kernel.kernel ~caller:proc ~name ~arg with
+  | Error _ as e -> e
+  | Ok child -> (
+      match child.Proc.response with
+      | None -> Ok None
+      | Some (data, labels) -> (
+          (* The answer flows back: absorb its secrecy taint. *)
+          match absorb ctx labels with
+          | Error _ as e -> e
+          | Ok () ->
+              charge ctx Resource.Memory (String.length data);
+              Ok (Some (data, labels))))
+
+let respond ctx data =
+  tick ctx;
+  charge ctx Resource.Memory (String.length data);
+  let proc = ctx.Kernel.proc in
+  proc.Proc.response <- Some (data, proc.Proc.labels);
+  Ok ()
+
+let consume ctx ~cpu =
+  charge ctx Resource.Cpu cpu;
+  Kernel.advance_clock ctx.Kernel.kernel;
+  Ok ()
+
+let debug_note ctx note =
+  tick ctx;
+  Kernel.record ctx.Kernel.kernel ~pid:(pid ctx) (Audit.App_note note);
+  Ok ()

@@ -1,0 +1,1 @@
+lib/platform/account.ml: Capability Flow Format Label Policy Principal String Tag W5_difc

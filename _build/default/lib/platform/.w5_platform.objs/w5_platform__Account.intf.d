@@ -1,0 +1,1 @@
+lib/platform/account.mli: Capability Flow Format Label Policy Principal Tag W5_difc

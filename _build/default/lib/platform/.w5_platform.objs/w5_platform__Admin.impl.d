@@ -1,0 +1,1 @@
+lib/platform/admin.ml: App_registry Audit Buffer Fs Hashtbl Int Kernel List Option Platform Printf Proc String W5_http W5_os

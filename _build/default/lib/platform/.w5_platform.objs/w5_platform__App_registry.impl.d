@@ -1,0 +1,1 @@
+lib/platform/app_registry.ml: Hashtbl Kernel List Option Principal String W5_difc W5_http W5_os

@@ -1,0 +1,1 @@
+lib/platform/app_registry.mli: Kernel Principal W5_difc W5_http W5_os

@@ -1,0 +1,1 @@
+lib/platform/declassifier.ml: Account Buffer Capability Kernel List Option Platform Policy Record String Syscall W5_difc W5_os W5_store

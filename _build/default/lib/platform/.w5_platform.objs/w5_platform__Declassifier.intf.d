@@ -1,0 +1,1 @@
+lib/platform/declassifier.mli: Account Kernel Platform W5_os

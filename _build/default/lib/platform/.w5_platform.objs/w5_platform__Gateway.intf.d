@@ -1,0 +1,1 @@
+lib/platform/gateway.mli: Account Platform Request Response W5_http

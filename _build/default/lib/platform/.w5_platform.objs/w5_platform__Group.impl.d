@@ -1,0 +1,1 @@
+lib/platform/group.ml: Account Capability Flow Fs Hashtbl Kernel Label List Os_error Platform Policy Principal Printf String Syscall Tag W5_difc W5_os W5_store

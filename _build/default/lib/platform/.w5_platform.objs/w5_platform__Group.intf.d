@@ -1,0 +1,1 @@
+lib/platform/group.mli: Account Capability Platform Tag W5_difc W5_os

@@ -1,0 +1,1 @@
+lib/platform/invite.ml: Account App_registry Hashtbl List Platform Policy Printf String

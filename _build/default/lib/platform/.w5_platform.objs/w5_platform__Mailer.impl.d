@@ -1,0 +1,1 @@
+lib/platform/mailer.ml: Account Gateway Hashtbl List Platform Policy Principal Printf Request Response Uri W5_difc W5_http

@@ -1,0 +1,1 @@
+lib/platform/mailer.mli: Platform

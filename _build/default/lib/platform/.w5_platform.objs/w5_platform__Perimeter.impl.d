@@ -1,0 +1,1 @@
+lib/platform/perimeter.ml: Account Audit Declassifier Flow Format Kernel Label Option Os_error Platform Policy Proc Tag W5_difc W5_os

@@ -1,0 +1,1 @@
+lib/platform/perimeter.mli: Account Flow Format Platform Tag W5_difc

@@ -1,0 +1,1 @@
+lib/platform/platform.mli: Account App_registry Capability Flow Kernel Os_error Principal Rate_limit Record Resource Tag W5_difc W5_http W5_os W5_store

@@ -1,0 +1,1 @@
+lib/platform/policy.ml: List String Tag W5_difc

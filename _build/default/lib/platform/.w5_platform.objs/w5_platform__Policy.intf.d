@@ -1,0 +1,1 @@
+lib/platform/policy.mli: Tag W5_difc

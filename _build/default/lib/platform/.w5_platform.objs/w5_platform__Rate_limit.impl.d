@@ -1,0 +1,1 @@
+lib/platform/rate_limit.ml: Hashtbl

@@ -1,0 +1,129 @@
+open W5_difc
+open W5_os
+
+type env = {
+  viewer : string option;
+  request : W5_http.Request.t;
+  self_id : string;
+  module_for_slot : string -> string option;
+  run_module :
+    Kernel.ctx -> module_id:string -> W5_http.Request.t ->
+    (string, string) result;
+}
+
+type handler = Kernel.ctx -> env -> unit
+
+type source =
+  | Open_source of string
+  | Closed_binary
+
+type version = {
+  v : string;
+  handler : handler;
+  source : source;
+  imports : string list;
+  embeds : string list;
+}
+
+type app = {
+  id : string;
+  dev : Principal.t;
+  app_name : string;
+  mutable versions : version list;
+  forked_from : string option;
+  mutable installs : int;
+}
+
+type t = { apps : (string, app) Hashtbl.t }
+
+let create () = { apps = Hashtbl.create 64 }
+let app_id ~dev ~name = Principal.name dev ^ "/" ^ name
+
+let publish t ~dev ~name ~version ?(source = Closed_binary) ?(imports = [])
+    ?(embeds = []) handler =
+  let id = app_id ~dev ~name in
+  let v = { v = version; handler; source; imports; embeds } in
+  match Hashtbl.find_opt t.apps id with
+  | None ->
+      let app =
+        { id; dev; app_name = name; versions = [ v ]; forked_from = None; installs = 0 }
+      in
+      Hashtbl.replace t.apps id app;
+      Ok app
+  | Some app ->
+      if not (Principal.equal app.dev dev) then
+        Error (id ^ ": owned by another developer")
+      else if List.exists (fun existing -> existing.v = version) app.versions
+      then Error (id ^ ": version " ^ version ^ " already published")
+      else begin
+        app.versions <- v :: app.versions;
+        Ok app
+      end
+
+let find t id = Hashtbl.find_opt t.apps id
+
+let resolve t ~id ?version () =
+  match Hashtbl.find_opt t.apps id with
+  | None -> None
+  | Some app -> (
+      match version with
+      | None -> (
+          match app.versions with
+          | [] -> None
+          | latest :: _ -> Some (app, latest))
+      | Some wanted ->
+          Option.map
+            (fun v -> (app, v))
+            (List.find_opt (fun v -> v.v = wanted) app.versions))
+
+let fork t ~new_dev ~from_id ?from_version ~name () =
+  match resolve t ~id:from_id ?version:from_version () with
+  | None -> Error (from_id ^ ": no such app/version")
+  | Some (_, version) -> (
+      match version.source with
+      | Closed_binary -> Error (from_id ^ ": closed binary, cannot fork")
+      | Open_source _ ->
+          let id = app_id ~dev:new_dev ~name in
+          if Hashtbl.mem t.apps id then Error (id ^ ": already exists")
+          else begin
+            let app =
+              {
+                id;
+                dev = new_dev;
+                app_name = name;
+                versions = [ { version with v = "1.0-fork" } ];
+                forked_from = Some from_id;
+                installs = 0;
+              }
+            in
+            Hashtbl.replace t.apps id app;
+            Ok app
+          end)
+
+let list_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.apps [] |> List.sort String.compare
+
+let record_install t id =
+  match Hashtbl.find_opt t.apps id with
+  | None -> ()
+  | Some app -> app.installs <- app.installs + 1
+
+let installs t id =
+  match Hashtbl.find_opt t.apps id with None -> 0 | Some app -> app.installs
+
+let latest_edges t project =
+  Hashtbl.fold
+    (fun id app acc ->
+      match app.versions with
+      | [] -> acc
+      | latest :: _ -> List.map (fun target -> (id, target)) (project latest) @ acc)
+    t.apps []
+  |> List.sort compare
+
+let import_edges t = latest_edges t (fun v -> v.imports)
+let embed_edges t = latest_edges t (fun v -> v.embeds)
+
+let source_of t ~id ?version () =
+  match resolve t ~id ?version () with
+  | Some (_, { source = Open_source text; _ }) -> Some text
+  | Some (_, { source = Closed_binary; _ }) | None -> None

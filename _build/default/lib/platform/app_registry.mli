@@ -1,0 +1,93 @@
+(** The application and module registry (§2 "Developers").
+
+    Developers upload {e versions} of {e apps}. A version carries its
+    handler (the server-side code), its source form — open source, or
+    a closed binary that is "executable but not readable" — and its
+    declared dependencies, which feed the code-search ranking
+    ({!W5_rank}) and the paper's two dependency-edge kinds: library
+    imports and embedded links to other apps.
+
+    Any developer can {!fork} any app whose source is open: the fork
+    gets its own id under the new developer, remembers its origin, and
+    existing users can switch to it "by checking a box". *)
+
+open W5_difc
+open W5_os
+
+(** What the gateway passes to a running application besides its
+    kernel context.
+
+    [module_for_slot] exposes the requesting user's module choices
+    ("use developer A's photo cropping module"); [run_module] executes
+    another registered module {e inline, in the caller's own process}
+    — same labels, same quotas — and returns its response body. Inline
+    execution is the IFC-sound analogue of linking a library: whatever
+    the module reads taints the caller. *)
+type env = {
+  viewer : string option;  (** authenticated requesting user, if any *)
+  request : W5_http.Request.t;
+  self_id : string;        (** the app id being executed, e.g. ["devA/photos"] *)
+  module_for_slot : string -> string option;
+  run_module :
+    Kernel.ctx -> module_id:string -> W5_http.Request.t ->
+    (string, string) result;
+}
+
+type handler = Kernel.ctx -> env -> unit
+
+type source =
+  | Open_source of string  (** reviewable source text *)
+  | Closed_binary          (** uploaded binary: executable, not readable *)
+
+type version = {
+  v : string;
+  handler : handler;
+  source : source;
+  imports : string list;   (** app ids this version links against *)
+  embeds : string list;    (** app ids whose URLs its HTML embeds *)
+}
+
+type app = {
+  id : string;             (** ["<developer>/<name>"] *)
+  dev : Principal.t;
+  app_name : string;
+  mutable versions : version list;  (** newest first *)
+  forked_from : string option;
+  mutable installs : int;  (** users who enabled it — popularity metric *)
+}
+
+type t
+
+val create : unit -> t
+
+val publish :
+  t -> dev:Principal.t -> name:string -> version:string ->
+  ?source:source -> ?imports:string list -> ?embeds:string list ->
+  handler -> (app, string) result
+(** Create the app on first publish, append a version on later ones.
+    Fails if the same developer reuses a version string, or if [name]
+    exists under this developer with another developer principal. *)
+
+val fork :
+  t -> new_dev:Principal.t -> from_id:string -> ?from_version:string ->
+  name:string -> unit -> (app, string) result
+(** Copy an open-source version into a new app owned by [new_dev]
+    (version ["1.0-fork"]). Closed binaries cannot be forked. *)
+
+val find : t -> string -> app option
+val resolve : t -> id:string -> ?version:string -> unit -> (app * version) option
+(** Latest version unless [version] is given. *)
+
+val list_ids : t -> string list
+val record_install : t -> string -> unit
+val installs : t -> string -> int
+
+val import_edges : t -> (string * string) list
+(** [(importer, imported)] across latest versions. *)
+
+val embed_edges : t -> (string * string) list
+
+val source_of : t -> id:string -> ?version:string -> unit -> string option
+(** The reviewable source text, if open source — what a user or editor
+    audits. The platform guarantees the audited text is the code that
+    runs (§2): both live in the same version record. *)

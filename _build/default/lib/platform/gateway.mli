@@ -1,0 +1,44 @@
+(** The HTTP front-end (§2 "Providers"): DNS/HTTP face of the
+    meta-application.
+
+    The gateway authenticates the user from the session cookie,
+    resolves the requested application, spawns a least-privilege
+    process for it, runs it to completion, and pushes whatever it
+    responded through the {!Perimeter}. Provider-written routes
+    (signup, login, settings, the app directory, the audit viewer) are
+    part of the trusted computing base; everything under [/app/…] is
+    developer code behind the perimeter.
+
+    Routes:
+    - [GET /] — home page and app directory
+    - [POST /signup] (user, pass), [POST /login], [GET /logout]
+    - [POST /enable?app=ID] — one-click "accept an invitation"
+    - [POST /invite?to=U&app=ID&write=on], [GET /invites],
+      [POST /invite_accept?id=I], [POST /invite_decline?id=I]
+    - [GET/POST /settings?…] — policy front-end (declassifier choice,
+      write delegation, module choice, version pinning, JavaScript
+      opt-in, read protection, integrity protection)
+    - [GET /me] — the logged-in user's policy dashboard (data-free)
+    - [POST /group_create?name=G], [POST /group_add?name=G&user=U],
+      [POST /group_remove?name=G&user=U] — founder-managed circles
+    - [GET /source?app=ID] — audit an open-source app's code
+    - [GET /audit?filter=S] — the developer's data-free denial log
+    - [ANY /app/<dev>/<name>[/…]] — dispatch to developer code
+      ([?version=] or a pinned version selects older releases)
+
+    When the platform has a DNS zone ({!Platform.enable_dns}), a
+    [Host:] header naming a registered vanity host routes directly to
+    its application regardless of the path. [/app/…] requests are
+    token-bucket throttled per client when the provider configured
+    {!Platform.set_rate_limit}. *)
+
+open W5_http
+
+val handler : Platform.t -> Request.t -> Response.t
+(** The perimeter-facing server; plug directly into {!Client.make}. *)
+
+val dispatch_app :
+  Platform.t -> viewer:Account.t option -> app_id:string ->
+  ?version:string -> Request.t -> Response.t
+(** The app-execution path by itself, for tests and the silo-baseline
+    comparison. *)

@@ -1,0 +1,57 @@
+(** Shared groups: data owned by a circle rather than one user.
+
+    A group mints its own {e restricted} secrecy tag. Restriction
+    (§3.1 read protection) means non-members cannot even taint-read
+    group content; members receive the [t+] capability when they join
+    (the gateway adds it to their app processes via
+    {!Platform.app_caps_for}'s read sweep — see {!member_caps}).
+    Export goes through the group's own declassifier, which releases
+    group-tainted pages to current members only.
+
+    The group tag's policy lives on the {e founder's} account (the
+    perimeter resolves tag → owner → policy), so the founder's policy
+    object carries the group's export rule; membership changes take
+    effect immediately because the declassifier re-reads the member
+    list on every export. *)
+
+open W5_difc
+
+type t
+
+val create :
+  Platform.t -> founder:Account.t -> name:string -> (t, string) result
+(** Mint the group tag (restricted), create [/groups/<name>/] labeled
+    with it, install the members-only declassifier and point the
+    founder's export rule for the tag at it. The founder is the first
+    member. Fails if the name is taken. *)
+
+val find : Platform.t -> name:string -> t option
+val name : t -> string
+val tag : t -> Tag.t
+val founder : t -> string
+val members : t -> string list
+val is_member : t -> user:string -> bool
+val dir : t -> string
+(** ["/groups/<name>"]. *)
+
+val add_member : Platform.t -> t -> user:string -> (unit, string) result
+(** Only meaningful names (existing accounts); idempotent. *)
+
+val remove_member : Platform.t -> t -> user:string -> (unit, string) result
+(** The founder cannot be removed. Departed members lose both the
+    read capability and the declassifier's blessing at once. *)
+
+val member_caps : Platform.t -> user:string -> Capability.Set.t
+(** The [t+] capabilities for every group [user] belongs to — folded
+    into app processes by the gateway. *)
+
+val post :
+  Platform.t -> t -> author:Account.t -> id:string -> body:string ->
+  (unit, W5_os.Os_error.t) result
+(** Write a post into the group directory under the group's label
+    (author must be a member). *)
+
+val read_posts :
+  Platform.t -> t -> reader:Account.t -> ((string * string) list, W5_os.Os_error.t) result
+(** All posts, oldest id first, read with the reader's membership
+    capability; denied for non-members at the read itself. *)

@@ -1,0 +1,74 @@
+type t = {
+  invite_id : string;
+  from_user : string;
+  to_user : string;
+  app : string;
+  suggest_write : bool;
+  mutable accepted : bool;
+}
+
+type registry = {
+  invites : (string, t) Hashtbl.t;
+  mutable counter : int;
+}
+
+let create_registry () = { invites = Hashtbl.create 32; counter = 0 }
+
+let pending registry ~to_user =
+  Hashtbl.fold
+    (fun _ invite acc ->
+      if invite.to_user = to_user && not invite.accepted then invite :: acc
+      else acc)
+    registry.invites []
+  |> List.sort (fun a b -> String.compare a.invite_id b.invite_id)
+
+let send registry platform ~from_user ~to_user ~app ?(suggest_write = false) () =
+  if Platform.find_account platform to_user = None then
+    Error ("no such user: " ^ to_user)
+  else if App_registry.find (Platform.registry platform) app = None then
+    Error ("no such app: " ^ app)
+  else if
+    List.exists (fun i -> i.app = app) (pending registry ~to_user)
+  then Error "already invited"
+  else begin
+    registry.counter <- registry.counter + 1;
+    let invite =
+      {
+        invite_id = Printf.sprintf "inv-%d" registry.counter;
+        from_user;
+        to_user;
+        app;
+        suggest_write;
+        accepted = false;
+      }
+    in
+    Hashtbl.replace registry.invites invite.invite_id invite;
+    Ok invite
+  end
+
+let find registry ~invite_id = Hashtbl.find_opt registry.invites invite_id
+
+let accept registry platform ~invite_id ~to_user =
+  match find registry ~invite_id with
+  | None -> Error ("no such invitation: " ^ invite_id)
+  | Some invite when invite.to_user <> to_user ->
+      Error "not your invitation"
+  | Some invite when invite.accepted -> Error "already accepted"
+  | Some invite -> (
+      match Platform.enable_app platform ~user:to_user ~app:invite.app with
+      | Error _ as e -> e
+      | Ok () ->
+          if invite.suggest_write then begin
+            let account = Platform.account_exn platform to_user in
+            Policy.delegate_write account.Account.policy invite.app
+          end;
+          invite.accepted <- true;
+          Ok ())
+
+let decline registry ~invite_id ~to_user =
+  match find registry ~invite_id with
+  | None -> Error ("no such invitation: " ^ invite_id)
+  | Some invite when invite.to_user <> to_user -> Error "not your invitation"
+  | Some _ ->
+      Hashtbl.remove registry.invites invite_id;
+      Ok ()

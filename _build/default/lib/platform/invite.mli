@@ -1,0 +1,43 @@
+(** Invitations (§1/§2): "a prospective user can sign up simply by
+    checking a box or 'accepting an invitation'".
+
+    An invitation is a provider-mediated offer: an existing user (or a
+    developer) invites a user to an application. Accepting performs
+    the whole adoption in one step — enable the app and, if the
+    inviter asked for it, delegate write access — which is exactly the
+    paper's point: adopting a new application costs one click, not a
+    data migration.
+
+    Invitations are platform state (not user data): they carry no
+    secrets and need no labels. *)
+
+type t = {
+  invite_id : string;
+  from_user : string;       (** inviter: a user name or developer name *)
+  to_user : string;
+  app : string;
+  suggest_write : bool;     (** inviter suggests delegating write *)
+  mutable accepted : bool;
+}
+
+type registry
+
+val create_registry : unit -> registry
+
+val send :
+  registry -> Platform.t -> from_user:string -> to_user:string ->
+  app:string -> ?suggest_write:bool -> unit -> (t, string) result
+(** Fails if the app or the invitee does not exist. Duplicate pending
+    invitations (same invitee + app) are rejected. *)
+
+val pending : registry -> to_user:string -> t list
+
+val accept :
+  registry -> Platform.t -> invite_id:string -> to_user:string ->
+  (unit, string) result
+(** The one click: enables the app for the invitee (counting the
+    install) and applies the suggested write delegation. Only the
+    invitee may accept, and only once. *)
+
+val decline : registry -> invite_id:string -> to_user:string -> (unit, string) result
+val find : registry -> invite_id:string -> t option

@@ -1,0 +1,88 @@
+open W5_difc
+
+type t = {
+  mutable export_rules : (Tag.t * string) list;
+  mutable enabled_apps : string list;
+  mutable pinned : (string * string) list;
+  mutable modules : (string * string) list;
+  mutable write_delegates : string list;
+  mutable read_grants : string list;
+  mutable allow_js : bool;
+  mutable require_vetted : bool;
+}
+
+let create () =
+  {
+    export_rules = [];
+    enabled_apps = [];
+    pinned = [];
+    modules = [];
+    write_delegates = [];
+    read_grants = [];
+    allow_js = false;
+    require_vetted = false;
+  }
+
+let authorize_declassifier t ~tag ~gate =
+  t.export_rules <-
+    (tag, gate) :: List.filter (fun (tg, _) -> not (Tag.equal tg tag)) t.export_rules
+
+let revoke_declassifier t ~tag =
+  t.export_rules <- List.filter (fun (tg, _) -> not (Tag.equal tg tag)) t.export_rules
+
+let declassifier_for t ~tag =
+  List.find_map
+    (fun (tg, gate) -> if Tag.equal tg tag then Some gate else None)
+    t.export_rules
+
+let export_rules t = t.export_rules
+
+let add_unique item items = if List.mem item items then items else item :: items
+
+let enable_app t app = t.enabled_apps <- add_unique app t.enabled_apps
+let disable_app t app = t.enabled_apps <- List.filter (( <> ) app) t.enabled_apps
+let app_enabled t app = List.mem app t.enabled_apps
+let enabled_apps t = t.enabled_apps
+
+let pin_version t ~app ~version =
+  t.pinned <- (app, version) :: List.remove_assoc app t.pinned
+
+let unpin_version t ~app = t.pinned <- List.remove_assoc app t.pinned
+let pinned_version t ~app = List.assoc_opt app t.pinned
+
+let choose_module t ~slot ~module_id =
+  t.modules <- (slot, module_id) :: List.remove_assoc slot t.modules
+
+let module_for t ~slot = List.assoc_opt slot t.modules
+
+let delegate_write t app = t.write_delegates <- add_unique app t.write_delegates
+let revoke_write t app = t.write_delegates <- List.filter (( <> ) app) t.write_delegates
+let write_delegated t app = List.mem app t.write_delegates
+
+let grant_read t app = t.read_grants <- add_unique app t.read_grants
+let revoke_read t app = t.read_grants <- List.filter (( <> ) app) t.read_grants
+let read_granted t app = List.mem app t.read_grants
+
+let set_require_vetted t b = t.require_vetted <- b
+let require_vetted t = t.require_vetted
+let set_allow_javascript t b = t.allow_js <- b
+let allow_javascript t = t.allow_js
+
+let summary t =
+  let join = String.concat ", " in
+  [
+    ("enabled apps", join (List.rev t.enabled_apps));
+    ( "export rules",
+      join
+        (List.map
+           (fun (tag, gate) -> Tag.name tag ^ " -> " ^ gate)
+           t.export_rules) );
+    ("write delegated to", join (List.rev t.write_delegates));
+    ("read granted to", join (List.rev t.read_grants));
+    ( "pinned versions",
+      join (List.map (fun (app, v) -> app ^ "@" ^ v) t.pinned) );
+    ( "module choices",
+      join (List.map (fun (slot, m) -> slot ^ " -> " ^ m) t.modules) );
+    ("javascript", (if t.allow_js then "allowed" else "stripped"));
+    ("integrity protection", (if t.require_vetted then "on" else "off"));
+  ]

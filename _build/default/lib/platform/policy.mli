@@ -1,0 +1,87 @@
+(** Per-user policy state — everything a user "expresses" about how
+    software may handle their data (§1 "give users control over their
+    data", §2 "End-Users").
+
+    The policy object is pure bookkeeping; enforcement happens in the
+    kernel (labels), the perimeter (export) and the gateway (caps
+    granted at dispatch). The boilerplate privacy policy — "Bob's data
+    can only leave the security perimeter if destined for Bob's
+    browser" — is not stored here because it is unconditional: the
+    perimeter applies it to every tag with no matching export rule. *)
+
+open W5_difc
+
+type t
+
+val create : unit -> t
+
+(** {1 Export rules (declassifiers, §3.1)} *)
+
+val authorize_declassifier : t -> tag:Tag.t -> gate:string -> unit
+(** Route export decisions for [tag] through the named kernel gate.
+    Replaces any previous rule for the tag. *)
+
+val revoke_declassifier : t -> tag:Tag.t -> unit
+val declassifier_for : t -> tag:Tag.t -> string option
+val export_rules : t -> (Tag.t * string) list
+
+(** {1 Application choices (§2)} *)
+
+val enable_app : t -> string -> unit
+(** The one-click "accept an invitation". *)
+
+val disable_app : t -> string -> unit
+val app_enabled : t -> string -> bool
+val enabled_apps : t -> string list
+
+val pin_version : t -> app:string -> version:string -> unit
+(** "I want to use version X.Y of that Web application". *)
+
+val unpin_version : t -> app:string -> unit
+val pinned_version : t -> app:string -> string option
+
+val choose_module : t -> slot:string -> module_id:string -> unit
+(** "Use developer A's photo cropping module": applications look up
+    their extension slots (e.g. ["photo.crop"]) here. *)
+
+val module_for : t -> slot:string -> string option
+
+(** {1 Delegations} *)
+
+val delegate_write : t -> string -> unit
+(** Allow the app (by id) to receive this user's write capability at
+    dispatch. *)
+
+val revoke_write : t -> string -> unit
+val write_delegated : t -> string -> bool
+
+val grant_read : t -> string -> unit
+(** Allow the app to absorb this user's read-protected tag. *)
+
+val revoke_read : t -> string -> unit
+val read_granted : t -> string -> bool
+
+(** {1 Integrity protection (§3.1)} *)
+
+val set_require_vetted : t -> bool -> unit
+(** When on, the gateway runs an application for this user only if the
+    app {e and all of its imports} are on the provider's vetted list —
+    "Bob can authorize an application to act on his behalf only if all
+    of its components (such as its libraries and configuration files)
+    are meritorious". Default off. *)
+
+val require_vetted : t -> bool
+
+(** {1 Client-side (§3.5)} *)
+
+val set_allow_javascript : t -> bool -> unit
+(** Default [false]: the perimeter strips scripts from every page this
+    user receives (the MashupOS-style relaxation is opting in). *)
+
+val allow_javascript : t -> bool
+
+(** {1 Introspection} *)
+
+val summary : t -> (string * string) list
+(** A data-free rendering of every setting — what the provider's
+    "/me" dashboard shows the user about their own policy. *)

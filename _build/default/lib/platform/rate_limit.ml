@@ -1,0 +1,44 @@
+type bucket = {
+  mutable tokens : int;
+  mutable last_refill : int;
+}
+
+type t = {
+  capacity : int;
+  refill_per_tick : int;
+  buckets : (string, bucket) Hashtbl.t;
+}
+
+let create ?(capacity = 20) ?(refill_per_tick = 1) () =
+  { capacity; refill_per_tick; buckets = Hashtbl.create 32 }
+
+let bucket_of t ~key ~now =
+  match Hashtbl.find_opt t.buckets key with
+  | Some bucket -> bucket
+  | None ->
+      let bucket = { tokens = t.capacity; last_refill = now } in
+      Hashtbl.replace t.buckets key bucket;
+      bucket
+
+let refill t bucket ~now =
+  if now > bucket.last_refill then begin
+    let earned = (now - bucket.last_refill) * t.refill_per_tick in
+    bucket.tokens <- min t.capacity (bucket.tokens + earned);
+    bucket.last_refill <- now
+  end
+
+let allow t ~key ~now =
+  let bucket = bucket_of t ~key ~now in
+  refill t bucket ~now;
+  if bucket.tokens > 0 then begin
+    bucket.tokens <- bucket.tokens - 1;
+    true
+  end
+  else false
+
+let remaining t ~key ~now =
+  let bucket = bucket_of t ~key ~now in
+  refill t bucket ~now;
+  bucket.tokens
+
+let reset t ~key = Hashtbl.remove t.buckets key

@@ -1,0 +1,20 @@
+(** Per-client request throttling (§3.5 "Performance and resource
+    allocation").
+
+    Process quotas stop a rogue {e application}; this token bucket
+    stops a rogue {e client} hammering the front door. One bucket per
+    key (client identity), refilled in whole tokens per kernel tick.
+    Provider configuration, enforced by the gateway before any
+    developer code runs. *)
+
+type t
+
+val create : ?capacity:int -> ?refill_per_tick:int -> unit -> t
+(** Defaults: capacity 20, refill 1 token per kernel tick. *)
+
+val allow : t -> key:string -> now:int -> bool
+(** Take one token from [key]'s bucket at time [now]; [false] means
+    throttled. Buckets start full. *)
+
+val remaining : t -> key:string -> now:int -> int
+val reset : t -> key:string -> unit

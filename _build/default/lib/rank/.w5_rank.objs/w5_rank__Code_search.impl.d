@@ -1,0 +1,1 @@
+lib/rank/code_search.ml: App_registry Depgraph Editor Float List Pagerank Platform Printf String W5_http W5_os W5_platform

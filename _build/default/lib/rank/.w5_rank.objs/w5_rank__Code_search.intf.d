@@ -1,0 +1,1 @@
+lib/rank/code_search.mli: App_registry Depgraph Editor Platform Stdlib W5_difc W5_platform

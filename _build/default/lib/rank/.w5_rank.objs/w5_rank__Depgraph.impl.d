@@ -1,0 +1,1 @@
+lib/rank/depgraph.ml: Hashtbl List Option Set String

@@ -1,0 +1,1 @@
+lib/rank/depgraph.mli:

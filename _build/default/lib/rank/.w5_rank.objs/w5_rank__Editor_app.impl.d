@@ -1,0 +1,1 @@
+lib/rank/editor_app.ml: App_registry Editor List Platform Printf W5_http W5_os W5_platform

@@ -1,0 +1,1 @@
+lib/rank/editor_app.mli: App_registry Editor Platform Stdlib W5_difc W5_platform

@@ -1,0 +1,1 @@
+lib/rank/hits.ml: Array Depgraph Float Hashtbl List Option String

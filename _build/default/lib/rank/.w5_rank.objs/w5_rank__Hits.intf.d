@@ -1,0 +1,1 @@
+lib/rank/hits.mli: Depgraph

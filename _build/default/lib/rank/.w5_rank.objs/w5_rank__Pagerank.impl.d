@@ -1,0 +1,1 @@
+lib/rank/pagerank.ml: Array Depgraph Float Hashtbl List Option String

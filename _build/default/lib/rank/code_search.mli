@@ -1,0 +1,56 @@
+(** W5 "code search" (§3.2): rank the platform's modules so users know
+    which code to invoke — and, more importantly, which code to trust
+    with export and write privileges.
+
+    The composite score mirrors the paper's four trust sources:
+    - {b dependency structure}: PageRank over import + embed edges
+      ("applications written by top-ranked developers would receive
+      top placement");
+    - {b popularity}: install counts;
+    - {b editors}: endorsements add reputation-weighted bonus,
+      anti-social flags subtract it;
+    - {b audit}: open-source apps get a small visibility bonus (their
+      code can actually be audited).
+
+    Scores are advisory; nothing here touches enforcement. *)
+
+open W5_platform
+
+type result = {
+  app_id : string;
+  total : float;
+  pagerank : float;
+  popularity : float;
+  editorial : float;
+  auditable : bool;
+  flagged_by : string list;
+}
+
+val graph_of_registry : App_registry.t -> Depgraph.t
+(** Union of the registry's import and embed edges, plus isolated
+    published apps as bare nodes. *)
+
+val score_all :
+  ?editors:Editor.t list -> App_registry.t -> result list
+(** All registered apps, best first. *)
+
+val search :
+  ?editors:Editor.t list -> App_registry.t -> query:string -> result list
+(** Case-insensitive substring match on the app id, ranked. *)
+
+val rank_of : result list -> string -> int option
+(** 1-based position of an app in a result list. *)
+
+val publish_search_app :
+  Platform.t -> dev:W5_difc.Principal.t -> ?editors:Editor.t list -> unit ->
+  (App_registry.app, string) Stdlib.result
+(** Code search is itself just another W5 application: publishes
+    ["<dev>/search"] whose handler ranks the live registry and renders
+    results for [?q=…]. It reads no user data, so its pages are public
+    (exportable to anyone). *)
+
+val vet_platform : editors:Editor.t list -> Platform.t -> int
+(** Feed the provider's vetted-software list (used by integrity
+    protection, §3.1) from editorial judgment: every registered app
+    endorsed by at least one editor and flagged by none becomes
+    vetted. Returns how many apps are vetted afterwards. *)

@@ -1,0 +1,55 @@
+module SS = Set.Make (String)
+
+type t = {
+  succ : (string, SS.t) Hashtbl.t;
+  pred : (string, SS.t) Hashtbl.t;
+}
+
+let create () = { succ = Hashtbl.create 64; pred = Hashtbl.create 64 }
+
+let find tbl node = Option.value (Hashtbl.find_opt tbl node) ~default:SS.empty
+
+let add_node t node =
+  if not (Hashtbl.mem t.succ node) then begin
+    Hashtbl.replace t.succ node SS.empty;
+    Hashtbl.replace t.pred node SS.empty
+  end
+
+let add_edge t ~src ~dst =
+  add_node t src;
+  add_node t dst;
+  Hashtbl.replace t.succ src (SS.add dst (find t.succ src));
+  Hashtbl.replace t.pred dst (SS.add src (find t.pred dst))
+
+let nodes t =
+  Hashtbl.fold (fun node _ acc -> node :: acc) t.succ []
+  |> List.sort String.compare
+
+let node_count t = Hashtbl.length t.succ
+
+let edge_count t =
+  Hashtbl.fold (fun _ s acc -> acc + SS.cardinal s) t.succ 0
+
+let successors t node = SS.elements (find t.succ node)
+let predecessors t node = SS.elements (find t.pred node)
+let out_degree t node = SS.cardinal (find t.succ node)
+let in_degree t node = SS.cardinal (find t.pred node)
+let mem t node = Hashtbl.mem t.succ node
+
+let of_edges edges =
+  let t = create () in
+  List.iter (fun (src, dst) -> add_edge t ~src ~dst) edges;
+  t
+
+let union a b =
+  let t = create () in
+  let copy g =
+    List.iter
+      (fun node ->
+        add_node t node;
+        List.iter (fun dst -> add_edge t ~src:node ~dst) (successors g node))
+      (nodes g)
+  in
+  copy a;
+  copy b;
+  t

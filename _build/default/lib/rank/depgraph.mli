@@ -1,0 +1,28 @@
+(** Directed dependency graphs over module identifiers.
+
+    §3.2: "code fragment A can depend on code fragment B in two ways"
+    — importing it as a library, or embedding a URL that invokes it.
+    Both kinds collapse to edges here; {!Pagerank} does not care. *)
+
+type t
+
+val create : unit -> t
+val add_node : t -> string -> unit
+val add_edge : t -> src:string -> dst:string -> unit
+(** Idempotent; adds both endpoints as nodes. Self-loops are kept. *)
+
+val nodes : t -> string list
+(** Sorted. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+val successors : t -> string -> string list
+val predecessors : t -> string -> string list
+val out_degree : t -> string -> int
+val in_degree : t -> string -> int
+val mem : t -> string -> bool
+
+val of_edges : (string * string) list -> t
+
+val union : t -> t -> t
+(** A fresh graph with the nodes and edges of both. *)

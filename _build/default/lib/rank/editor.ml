@@ -1,0 +1,31 @@
+type t = {
+  editor_name : string;
+  mutable endorsements : (string * string) list;
+  mutable antisocial : (string * string) list;
+  mutable subscribers : string list;
+}
+
+let create editor_name =
+  { editor_name; endorsements = []; antisocial = []; subscribers = [] }
+
+let name t = t.editor_name
+
+let endorse t ~app ~reason =
+  t.endorsements <- (app, reason) :: List.remove_assoc app t.endorsements
+
+let endorsed t ~app = List.mem_assoc app t.endorsements
+let endorsement_reason t ~app = List.assoc_opt app t.endorsements
+let endorsements t = t.endorsements
+
+let flag_antisocial t ~app ~reason =
+  t.antisocial <- (app, reason) :: List.remove_assoc app t.antisocial
+
+let flagged t ~app = List.mem_assoc app t.antisocial
+let flags t = t.antisocial
+
+let subscribe t ~user =
+  if not (List.mem user t.subscribers) then
+    t.subscribers <- user :: t.subscribers
+
+let subscriber_count t = List.length t.subscribers
+let reputation t = log (1.0 +. float_of_int (subscriber_count t))

@@ -1,0 +1,27 @@
+(** W5 editors (§3.2): parties "who collect, audit and vet software
+    collections that are compatible and dependable".
+
+    An editor endorses apps it has audited, flags anti-social ones
+    (proprietary formats, §3.2), and accumulates reputation as users
+    subscribe. Editors are advisory — they feed {!Code_search}
+    scoring, never enforcement. *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+
+val endorse : t -> app:string -> reason:string -> unit
+val endorsed : t -> app:string -> bool
+val endorsement_reason : t -> app:string -> string option
+val endorsements : t -> (string * string) list
+
+val flag_antisocial : t -> app:string -> reason:string -> unit
+val flagged : t -> app:string -> bool
+val flags : t -> (string * string) list
+
+val subscribe : t -> user:string -> unit
+val subscriber_count : t -> int
+
+val reputation : t -> float
+(** [log (1 + subscribers)] — a popularity-mined trust weight. *)

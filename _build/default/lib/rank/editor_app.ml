@@ -1,0 +1,61 @@
+open W5_platform
+
+let find_editor editors name =
+  List.find_opt (fun e -> Editor.name e = name) editors
+
+let render_index editors =
+  W5_http.Html.ul
+    (List.map
+       (fun e ->
+         W5_http.Html.text
+           (Printf.sprintf "%s — reputation %.2f (%d subscribers)"
+              (Editor.name e) (Editor.reputation e) (Editor.subscriber_count e)))
+       editors)
+
+let render_editor e =
+  let section title items =
+    W5_http.Html.element "h2" (W5_http.Html.text title)
+    ^ W5_http.Html.ul
+        (List.map
+           (fun (app, reason) ->
+             W5_http.Html.text (Printf.sprintf "%s — %s" app reason))
+           items)
+  in
+  W5_http.Html.element "h1" (W5_http.Html.text (Editor.name e))
+  ^ section "endorsements" (Editor.endorsements e)
+  ^ section "anti-social flags" (Editor.flags e)
+
+let publish platform ~dev ~editors =
+  let handler ctx (env : App_registry.env) =
+    let request = env.App_registry.request in
+    let respond body =
+      ignore
+        (W5_os.Syscall.respond ctx (W5_http.Html.page ~title:"editors" body))
+    in
+    match W5_http.Request.param_or request "action" ~default:"view" with
+    | "subscribe" -> (
+        match (env.App_registry.viewer, W5_http.Request.param request "editor")
+        with
+        | None, _ -> respond (W5_http.Html.text "please log in")
+        | _, None -> respond (W5_http.Html.text "editor required")
+        | Some user, Some name -> (
+            match find_editor editors name with
+            | None -> respond (W5_http.Html.text ("no such editor: " ^ name))
+            | Some e ->
+                Editor.subscribe e ~user;
+                respond (W5_http.Html.text ("subscribed to " ^ name))))
+    | _ -> (
+        match W5_http.Request.param request "editor" with
+        | None -> respond (render_index editors)
+        | Some name -> (
+            match find_editor editors name with
+            | None -> respond (W5_http.Html.text ("no such editor: " ^ name))
+            | Some e -> respond (render_editor e)))
+  in
+  App_registry.publish (Platform.registry platform) ~dev ~name:"editors"
+    ~version:"1.0"
+    ~source:
+      (App_registry.Open_source
+         "editor_app.ml: browsable editorial endorsements and flags; \
+          subscriptions feed reputations")
+    handler

@@ -1,0 +1,19 @@
+(** The editors, as a browsable W5 application (§3.2: "editors …
+    establish reputations based on various popularity metrics mined
+    from users' preferences").
+
+    Publishes ["<dev>/editors"]. Pages are public (no user data);
+    subscription is the one mutating action and requires a login —
+    each subscription feeds the editor's reputation, which in turn
+    weights {!Code_search} scoring.
+
+    Routes:
+    - [GET] — all editors with reputation and subscriber counts
+    - [GET ?editor=E] — E's endorsements and anti-social flags
+    - [POST action=subscribe&editor=E] — follow an editor *)
+
+open W5_platform
+
+val publish :
+  Platform.t -> dev:W5_difc.Principal.t -> editors:Editor.t list ->
+  (App_registry.app, string) Stdlib.result

@@ -1,0 +1,71 @@
+type scores = {
+  authority : (string * float) list;
+  hub : (string * float) list;
+}
+
+let compute ?(epsilon = 1e-10) ?(max_iterations = 100) graph =
+  let nodes = Array.of_list (Depgraph.nodes graph) in
+  let n = Array.length nodes in
+  if n = 0 then { authority = []; hub = [] }
+  else begin
+    let index = Hashtbl.create n in
+    Array.iteri (fun i node -> Hashtbl.replace index node i) nodes;
+    let succs =
+      Array.map
+        (fun node ->
+          Depgraph.successors graph node
+          |> List.map (Hashtbl.find index)
+          |> Array.of_list)
+        nodes
+    in
+    let auth = Array.make n 1.0 and hub = Array.make n 1.0 in
+    let next_auth = Array.make n 0.0 and next_hub = Array.make n 0.0 in
+    let normalize v =
+      let norm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v) in
+      if norm > 0.0 then Array.iteri (fun i x -> v.(i) <- x /. norm) v
+    in
+    let rec iterate remaining =
+      if remaining = 0 then ()
+      else begin
+        Array.fill next_auth 0 n 0.0;
+        Array.fill next_hub 0 n 0.0;
+        (* authority: sum of hub scores of importers; hub: sum of
+           authority scores of imports *)
+        Array.iteri
+          (fun i out ->
+            Array.iter
+              (fun j ->
+                next_auth.(j) <- next_auth.(j) +. hub.(i);
+                next_hub.(i) <- next_hub.(i) +. auth.(j))
+              out)
+          succs;
+        normalize next_auth;
+        normalize next_hub;
+        let delta =
+          let acc = ref 0.0 in
+          for i = 0 to n - 1 do
+            acc := !acc +. abs_float (next_auth.(i) -. auth.(i));
+            acc := !acc +. abs_float (next_hub.(i) -. hub.(i))
+          done;
+          !acc
+        in
+        Array.blit next_auth 0 auth 0 n;
+        Array.blit next_hub 0 hub 0 n;
+        if delta > epsilon then iterate (remaining - 1)
+      end
+    in
+    iterate max_iterations;
+    let ranked values =
+      Array.to_list (Array.mapi (fun i node -> (node, values.(i))) nodes)
+      |> List.sort (fun (n1, s1) (n2, s2) ->
+             match Float.compare s2 s1 with
+             | 0 -> String.compare n1 n2
+             | c -> c)
+    in
+    { authority = ranked auth; hub = ranked hub }
+  end
+
+let authority_of scores node =
+  Option.value (List.assoc_opt node scores.authority) ~default:0.0
+
+let hub_of scores node = Option.value (List.assoc_opt node scores.hub) ~default:0.0

@@ -1,0 +1,20 @@
+(** Kleinberg's HITS over a {!Depgraph.t} — the ranking ablation for
+    the code-search design choice in DESIGN.md §5.
+
+    Where PageRank assigns one score, HITS separates {e authorities}
+    (modules many good hubs import — trustworthy libraries) from
+    {e hubs} (modules that import many good authorities — well-built
+    applications). The ablation bench and tests compare authority
+    ordering against PageRank ordering on the same graphs. *)
+
+type scores = {
+  authority : (string * float) list;  (** descending, ties by name *)
+  hub : (string * float) list;
+}
+
+val compute : ?epsilon:float -> ?max_iterations:int -> Depgraph.t -> scores
+(** Power iteration with L2 normalization; defaults: epsilon 1e-10,
+    100 iterations. Empty graph yields empty lists. *)
+
+val authority_of : scores -> string -> float
+val hub_of : scores -> string -> float

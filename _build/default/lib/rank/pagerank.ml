@@ -1,0 +1,67 @@
+type scores = (string * float) list
+
+let run ?(damping = 0.85) ?(epsilon = 1e-10) ?(max_iterations = 100) graph =
+  let nodes = Array.of_list (Depgraph.nodes graph) in
+  let n = Array.length nodes in
+  if n = 0 then ([||], [||], 0)
+  else begin
+    let index = Hashtbl.create n in
+    Array.iteri (fun i node -> Hashtbl.replace index node i) nodes;
+    let succs =
+      Array.map
+        (fun node ->
+          Depgraph.successors graph node
+          |> List.map (fun s -> Hashtbl.find index s)
+          |> Array.of_list)
+        nodes
+    in
+    let rank = Array.make n (1.0 /. float_of_int n) in
+    let next = Array.make n 0.0 in
+    let iterations = ref 0 in
+    let rec iterate remaining =
+      if remaining = 0 then ()
+      else begin
+        incr iterations;
+        Array.fill next 0 n 0.0;
+        (* Dangling mass is shared uniformly. *)
+        let dangling = ref 0.0 in
+        Array.iteri
+          (fun i out ->
+            if Array.length out = 0 then dangling := !dangling +. rank.(i)
+            else
+              let share = rank.(i) /. float_of_int (Array.length out) in
+              Array.iter (fun j -> next.(j) <- next.(j) +. share) out)
+          succs;
+        let base =
+          ((1.0 -. damping) +. (damping *. !dangling)) /. float_of_int n
+        in
+        let delta = ref 0.0 in
+        for i = 0 to n - 1 do
+          let v = base +. (damping *. next.(i)) in
+          delta := !delta +. abs_float (v -. rank.(i));
+          next.(i) <- v
+        done;
+        Array.blit next 0 rank 0 n;
+        if !delta > epsilon then iterate (remaining - 1)
+      end
+    in
+    iterate max_iterations;
+    (nodes, rank, !iterations)
+  end
+
+let compute ?damping ?epsilon ?max_iterations graph =
+  let nodes, rank, _ = run ?damping ?epsilon ?max_iterations graph in
+  let pairs = Array.to_list (Array.mapi (fun i node -> (node, rank.(i))) nodes) in
+  List.sort
+    (fun (n1, s1) (n2, s2) ->
+      match Float.compare s2 s1 with
+      | 0 -> String.compare n1 n2
+      | c -> c)
+    pairs
+
+let score_of scores node =
+  Option.value (List.assoc_opt node scores) ~default:0.0
+
+let iterations_to_converge ?damping ?epsilon graph =
+  let _, _, iterations = run ?damping ?epsilon ~max_iterations:10_000 graph in
+  iterations

@@ -1,0 +1,24 @@
+(** PageRank over a {!Depgraph.t}, "inspired by the PageRank algorithm
+    for Web pages" (§3.2): the structure of the dependency graph
+    infers which modules developers collectively trust.
+
+    Standard power iteration with uniform teleportation; dangling
+    nodes (no outgoing edges) redistribute their mass uniformly.
+    Scores sum to 1 (within [epsilon]). *)
+
+type scores = (string * float) list
+(** Sorted by descending score, ties broken by name. *)
+
+val compute :
+  ?damping:float -> ?epsilon:float -> ?max_iterations:int -> Depgraph.t ->
+  scores
+(** Defaults: damping 0.85, epsilon 1e-10, 100 iterations. An empty
+    graph yields []. *)
+
+val score_of : scores -> string -> float
+(** 0.0 for unknown nodes. *)
+
+val iterations_to_converge :
+  ?damping:float -> ?epsilon:float -> Depgraph.t -> int
+(** How many iterations the power method needed — the ablation bench
+    for ranking stability. *)

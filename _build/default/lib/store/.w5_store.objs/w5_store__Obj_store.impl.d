@@ -1,0 +1,1 @@
+lib/store/obj_store.ml: Flow Fs Os_error Record Result String Syscall W5_difc W5_os

@@ -1,0 +1,1 @@
+lib/store/obj_store.mli: Flow Kernel Os_error Record W5_difc W5_os

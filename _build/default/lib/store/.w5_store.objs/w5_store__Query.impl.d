@@ -1,0 +1,1 @@
+lib/store/query.ml: List Obj_store Record Result String Syscall W5_os

@@ -1,0 +1,1 @@
+lib/store/query.mli: Kernel Os_error Record W5_os

@@ -1,0 +1,1 @@
+lib/store/record.ml: Buffer Format List Option String

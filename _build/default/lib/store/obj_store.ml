@@ -1,0 +1,56 @@
+open W5_difc
+open W5_os
+
+type id = string
+
+let root = "/store"
+
+let init ctx =
+  match Syscall.mkdir ctx root ~labels:Flow.bottom with
+  | Ok () -> Ok ()
+  | Error (Os_error.Already_exists _) -> Ok ()
+  | Error _ as e -> e
+
+let sanitize name =
+  String.map (fun c -> if c = '/' then '_' else c) name
+
+let collection_path collection = root ^ "/" ^ sanitize collection
+let object_path collection id = collection_path collection ^ "/" ^ sanitize id
+
+let create_collection ctx collection ~labels =
+  match Syscall.mkdir ctx (collection_path collection) ~labels with
+  | Ok () -> Ok ()
+  | Error (Os_error.Already_exists _) -> Ok ()
+  | Error _ as e -> e
+
+let put ctx ~collection ~id ~labels record =
+  let path = object_path collection id in
+  let data = Record.encode record in
+  if Syscall.file_exists ctx path then Syscall.write_file ctx path ~data
+  else Syscall.create_file ctx path ~labels ~data
+
+let get ctx ?(taint = false) ~collection ~id () =
+  let path = object_path collection id in
+  let read = if taint then Syscall.read_file_taint else Syscall.read_file in
+  match read ctx path with
+  | Error _ as e -> e
+  | Ok data ->
+      Result.map_error (fun msg -> Os_error.Invalid msg) (Record.decode data)
+
+let delete ctx ~collection ~id =
+  Syscall.unlink ctx (object_path collection id)
+
+let list ctx ~collection = Syscall.readdir ctx (collection_path collection)
+
+let exists ctx ~collection ~id =
+  Syscall.file_exists ctx (object_path collection id)
+
+let labels_of ctx ~collection ~id =
+  Result.map
+    (fun st -> st.Fs.labels)
+    (Syscall.stat ctx (object_path collection id))
+
+let version_of ctx ~collection ~id =
+  Result.map
+    (fun st -> st.Fs.version)
+    (Syscall.stat ctx (object_path collection id))

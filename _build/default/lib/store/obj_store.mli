@@ -1,0 +1,54 @@
+(** The labeled object store.
+
+    A thin convention over the labeled filesystem: objects are
+    {!Record.t}s stored at [/store/<collection>/<id>], carrying the
+    owner's labels. All access goes through {!W5_os.Syscall}, so every
+    read and write is flow-checked exactly like any other file access
+    — the store adds no trusted code.
+
+    The [taint] flag selects between strict reads (denied unless the
+    caller is already tainted enough) and self-tainting reads (the
+    Asbestos-style convenience most applications use). *)
+
+open W5_difc
+open W5_os
+
+type id = string
+
+val root : string
+(** ["/store"]. Created by {!init}. *)
+
+val init : Kernel.ctx -> (unit, Os_error.t) result
+(** Create the store root (idempotent). Usually run by the platform
+    at boot. *)
+
+val collection_path : string -> string
+val object_path : string -> id -> string
+
+val create_collection :
+  Kernel.ctx -> string -> labels:Flow.labels -> (unit, Os_error.t) result
+
+val put :
+  Kernel.ctx -> collection:string -> id:id -> labels:Flow.labels ->
+  Record.t -> (unit, Os_error.t) result
+(** Create or overwrite. Overwrite keeps the object's existing labels
+    and is subject to the write-protection (integrity) check. *)
+
+val get :
+  Kernel.ctx -> ?taint:bool -> collection:string -> id:id -> unit ->
+  (Record.t, Os_error.t) result
+(** [taint] defaults to [false] (strict read). *)
+
+val delete :
+  Kernel.ctx -> collection:string -> id:id -> (unit, Os_error.t) result
+
+val list :
+  Kernel.ctx -> collection:string -> (id list, Os_error.t) result
+
+val exists : Kernel.ctx -> collection:string -> id:id -> bool
+
+val labels_of :
+  Kernel.ctx -> collection:string -> id:id -> (Flow.labels, Os_error.t) result
+
+val version_of :
+  Kernel.ctx -> collection:string -> id:id -> (int, Os_error.t) result

@@ -1,0 +1,81 @@
+open W5_os
+
+type id = string
+type predicate = Record.t -> bool
+
+let always _ = true
+
+let field_equals key value r = Record.get r key = Some value
+
+let field_contains key needle r =
+  match Record.get r key with
+  | None -> false
+  | Some v ->
+      let vn = String.length v and nn = String.length needle in
+      if nn = 0 then true
+      else
+        let rec scan i =
+          i + nn <= vn && (String.sub v i nn = needle || scan (i + 1))
+        in
+        scan 0
+
+let field_int_at_least key threshold r =
+  match Record.get_int r key with
+  | None -> false
+  | Some n -> n >= threshold
+
+let has_field key r = Record.mem r key
+let ( &&& ) p q r = p r && q r
+let ( ||| ) p q r = p r || q r
+let not_ p r = not (p r)
+
+let scan ctx ~collection ~read ~init ~f =
+  match Obj_store.list ctx ~collection with
+  | Error _ as e -> e
+  | Ok ids ->
+      let step acc id =
+        match acc with
+        | Error _ as e -> e
+        | Ok acc -> (
+            match read ctx (Obj_store.object_path collection id) with
+            | Error e -> Error (`Row (id, e))
+            | Ok data -> (
+                match Record.decode data with
+                | Error _ -> Ok acc (* undecodable rows are skipped *)
+                | Ok record -> Ok (f acc id record)))
+      in
+      Result.map_error
+        (fun (`Row (_, e)) -> e)
+        (List.fold_left step (Ok init) ids)
+
+let select ?limit ctx ~collection ~where =
+  let truncate results =
+    match limit with
+    | None -> results
+    | Some n -> List.filteri (fun i _ -> i < n) results
+  in
+  Result.map
+    (fun acc -> truncate (List.rev acc))
+    (scan ctx ~collection ~read:Syscall.read_file_taint ~init:[]
+       ~f:(fun acc id record ->
+         if where record then (id, record) :: acc else acc))
+
+let select_leaky ctx ~collection ~where =
+  match Obj_store.list ctx ~collection with
+  | Error _ as e -> e
+  | Ok ids ->
+      let step acc id =
+        match Syscall.read_file ctx (Obj_store.object_path collection id) with
+        | Error _ -> acc (* unreadable rows silently vanish: the leak *)
+        | Ok data -> (
+            match Record.decode data with
+            | Error _ -> acc
+            | Ok record -> if where record then (id, record) :: acc else acc)
+      in
+      Ok (List.rev (List.fold_left step [] ids))
+
+let count ctx ~collection ~where =
+  Result.map List.length (select ctx ~collection ~where)
+
+let fold ctx ~collection ~init ~f =
+  scan ctx ~collection ~read:Syscall.read_file_taint ~init ~f

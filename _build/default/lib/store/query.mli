@@ -1,0 +1,65 @@
+(** The covert-channel-safe query engine.
+
+    §3.5 of the paper notes that "the SQL interface to databases can
+    leak information implicitly and thus needs to be replaced under
+    W5". The leak is through result {e shape}: whether a row appears
+    in (or is absent from) a result tells the querier something about
+    data it may not be tainted by.
+
+    The replacement rule implemented here: a query taints the caller
+    with the labels of {b every row scanned}, not just the rows
+    returned. Absence then carries no exploitable signal — by the time
+    the caller learns the shape, it is already tainted by everything
+    that shaped it and cannot export the knowledge.
+
+    {!select_leaky} implements the classic (unsafe) semantics — skip
+    rows the caller cannot read — and exists only as the baseline arm
+    of experiment E8 and its ablation bench.
+
+    Every scanned row also costs CPU quota, so a malicious query
+    cannot monopolize the database (§3.5 "resource allocation"): it
+    dies by quota instead. *)
+
+open W5_os
+
+type id = string
+type predicate = Record.t -> bool
+
+val always : predicate
+val field_equals : string -> string -> predicate
+val field_contains : string -> string -> predicate
+(** Substring match on the field's value; absent field never matches. *)
+
+val field_int_at_least : string -> int -> predicate
+val has_field : string -> predicate
+val ( &&& ) : predicate -> predicate -> predicate
+val ( ||| ) : predicate -> predicate -> predicate
+val not_ : predicate -> predicate
+
+val select :
+  ?limit:int -> Kernel.ctx -> collection:string -> where:predicate ->
+  ((id * Record.t) list, Os_error.t) result
+(** Safe semantics: scan the whole collection, taint the caller with
+    the join of every row's labels, return decoded matches (sorted by
+    id). Rows that fail to decode are skipped.
+
+    [limit] truncates the {e result}, never the {e scan}: stopping
+    early would make the taint depend on which rows matched — exactly
+    the shape channel this engine exists to close. Pagination costs a
+    full scan, by design. *)
+
+val select_leaky :
+  Kernel.ctx -> collection:string -> where:predicate ->
+  ((id * Record.t) list, Os_error.t) result
+(** Unsafe baseline: strict reads, silently skipping rows the caller
+    may not see. Result shape leaks. Kept for experiment E8 only. *)
+
+val count :
+  Kernel.ctx -> collection:string -> where:predicate ->
+  (int, Os_error.t) result
+(** [List.length] of {!select}, with the same taint semantics. *)
+
+val fold :
+  Kernel.ctx -> collection:string -> init:'a ->
+  f:('a -> id -> Record.t -> 'a) -> ('a, Os_error.t) result
+(** Safe full-collection fold (taints like {!select}). *)

@@ -1,0 +1,104 @@
+type t = (string * string) list
+
+let empty = []
+let of_fields fields = fields
+let fields r = r
+let get r key = List.assoc_opt key r
+let get_or r key ~default = Option.value (get r key) ~default
+
+let set r key value =
+  let rec replace = function
+    | [] -> [ (key, value) ]
+    | (k, _) :: rest when k = key -> (key, value) :: rest
+    | binding :: rest -> binding :: replace rest
+  in
+  replace r
+
+let remove r key = List.filter (fun (k, _) -> k <> key) r
+let mem r key = List.mem_assoc key r
+let keys r = List.map fst r
+let cardinal = List.length
+let equal = ( = )
+let get_int r key = Option.bind (get r key) int_of_string_opt
+let set_int r key v = set r key (string_of_int v)
+
+let get_list r key =
+  match get r key with
+  | None | Some "" -> []
+  | Some s -> String.split_on_char ',' s
+
+let set_list r key vs = set r key (String.concat "," vs)
+
+(* Percent-escape the three characters that would break the
+   line-oriented encoding. *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string buf "%25"
+      | '=' -> Buffer.add_string buf "%3d"
+      | '\n' -> Buffer.add_string buf "%0a"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents buf)
+    else if s.[i] = '%' then
+      if i + 2 >= n then Error "truncated escape"
+      else
+        match String.sub s (i + 1) 2 with
+        | "25" ->
+            Buffer.add_char buf '%';
+            go (i + 3)
+        | "3d" ->
+            Buffer.add_char buf '=';
+            go (i + 3)
+        | "0a" ->
+            Buffer.add_char buf '\n';
+            go (i + 3)
+        | esc -> Error ("unknown escape %" ^ esc)
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let encode r =
+  String.concat "\n"
+    (List.map (fun (k, v) -> escape k ^ "=" ^ escape v) r)
+
+let decode s =
+  if s = "" then Ok []
+  else
+    let lines = String.split_on_char '\n' s in
+    let decode_line line =
+      match String.index_opt line '=' with
+      | None -> Error ("missing '=' in line: " ^ line)
+      | Some i -> (
+          let k = String.sub line 0 i in
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          match (unescape k, unescape v) with
+          | Ok k, Ok v -> Ok (k, v)
+          | Error e, _ | _, Error e -> Error e)
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest -> (
+          match decode_line line with
+          | Ok binding -> go (binding :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] lines
+
+let pp fmt r =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+       (fun fmt (k, v) -> Format.fprintf fmt "%s=%S" k v))
+    r

@@ -1,0 +1,1 @@
+lib/workload/populate.mli: Platform Rng W5_http W5_platform

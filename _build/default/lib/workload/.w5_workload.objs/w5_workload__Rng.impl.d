@@ -1,0 +1,1 @@
+lib/workload/rng.ml: Float Int Int64 List String

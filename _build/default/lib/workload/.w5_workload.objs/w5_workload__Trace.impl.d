@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Client Format Hashtbl List Populate Printf Response Rng W5_http

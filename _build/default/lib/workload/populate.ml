@@ -1,0 +1,155 @@
+open W5_difc
+open W5_http
+open W5_platform
+
+type society = {
+  platform : Platform.t;
+  users : string list;
+  social_id : string;
+  photo_id : string;
+  blog_id : string;
+}
+
+let user_name i = Printf.sprintf "user%04d" i
+let password user = user ^ "-pw"
+
+let login society user =
+  let client = Client.make ~name:user (Gateway.handler society.platform) in
+  let response =
+    Client.post client "/login" ~form:[ ("user", user); ("pass", password user) ]
+  in
+  if not (Response.is_success response) then
+    invalid_arg ("populate: login failed for " ^ user);
+  client
+
+let random_friend_graph rng ~users ~friends_per_user =
+  let adjacency = Hashtbl.create (List.length users) in
+  let add a b =
+    let current = Option.value (Hashtbl.find_opt adjacency a) ~default:[] in
+    if (not (List.mem b current)) && a <> b then
+      Hashtbl.replace adjacency a (b :: current)
+  in
+  List.iter
+    (fun user ->
+      let wanted = friends_per_user in
+      let candidates = List.filter (fun u -> u <> user) users in
+      List.iter
+        (fun friend_name ->
+          add user friend_name;
+          add friend_name user)
+        (Rng.sample rng wanted candidates))
+    users;
+  List.map
+    (fun user ->
+      ( user,
+        List.sort String.compare
+          (Option.value (Hashtbl.find_opt adjacency user) ~default:[]) ))
+    users
+
+let ensure label = function
+  | Ok _ -> ()
+  | Error e -> invalid_arg ("populate: " ^ label ^ ": " ^ e)
+
+let ensure_status label response =
+  if not (Response.is_success response) then
+    invalid_arg
+      (Printf.sprintf "populate: %s: HTTP %d %s" label
+         (Response.status_code response.Response.status)
+         response.Response.body)
+
+let build ?(seed = 42) ?enforcing ~users:user_count ~friends_per_user
+    ~photos_per_user ~blog_posts_per_user () =
+  let rng = Rng.create ~seed in
+  let platform = Platform.create ?enforcing () in
+  let dev = Principal.make Principal.Developer "core" in
+  ensure "social" (Result.map (fun _ -> ()) (W5_apps.Social_app.publish platform ~dev));
+  ensure "photos" (Result.map (fun _ -> ()) (W5_apps.Photo_app.publish platform ~dev));
+  ensure "blog" (Result.map (fun _ -> ()) (W5_apps.Blog_app.publish platform ~dev));
+  let social_id = "core/social"
+  and photo_id = "core/photos"
+  and blog_id = "core/blog" in
+  let users = List.init user_count user_name in
+  List.iter
+    (fun user ->
+      ensure ("signup " ^ user)
+        (Result.map (fun _ -> ())
+           (Platform.signup platform ~user ~password:(password user)));
+      List.iter
+        (fun app ->
+          ensure ("enable " ^ app) (Platform.enable_app platform ~user ~app);
+          let account = Platform.account_exn platform user in
+          Policy.delegate_write account.Account.policy app)
+        [ social_id; photo_id; blog_id ])
+    users;
+  let society = { platform; users; social_id; photo_id; blog_id } in
+  (* Wire the friend graph and seed content through the real HTTP
+     surface, exactly as a browser would. *)
+  let graph = random_friend_graph rng ~users ~friends_per_user in
+  List.iter
+    (fun (user, friends) ->
+      let client = login society user in
+      List.iter
+        (fun friend_name ->
+          ensure_status
+            (user ^ " befriends " ^ friend_name)
+            (Client.post client ("/app/" ^ social_id)
+               ~form:[ ("action", "add_friend"); ("friend", friend_name) ]))
+        friends;
+      List.iter
+        (fun i ->
+          ensure_status
+            (user ^ " uploads photo")
+            (Client.post client ("/app/" ^ photo_id)
+               ~form:
+                 [
+                   ("action", "upload");
+                   ("id", Printf.sprintf "p%02d" i);
+                   ("data", "photo-" ^ Rng.string rng ~length:24);
+                 ]))
+        (List.init photos_per_user Fun.id);
+      List.iter
+        (fun i ->
+          ensure_status (user ^ " posts blog")
+            (Client.post client ("/app/" ^ blog_id)
+               ~form:
+                 [
+                   ("action", "post");
+                   ("id", Printf.sprintf "b%02d" i);
+                   ("title", "post " ^ string_of_int i);
+                   ("body", Rng.string rng ~length:48);
+                 ]))
+        (List.init blog_posts_per_user Fun.id);
+      let account = Platform.account_exn platform user in
+      ignore
+        (Declassifier.install_and_authorize platform ~account ~name:"friends"
+           Declassifier.friends_only))
+    graph;
+  society
+
+let fill_dependency_graph ?(seed = 7) platform ~modules ~imports_per_module =
+  let rng = Rng.create ~seed in
+  let registry = Platform.registry platform in
+  let ids = List.init modules (fun i -> Printf.sprintf "m%04d" i) in
+  let dev i = Principal.make Principal.Developer ("dev" ^ string_of_int i) in
+  let handler ctx _env = ignore (W5_os.Syscall.respond ctx "ok") in
+  List.iteri
+    (fun i name ->
+      (* Preferential-attachment-ish: earlier modules attract more
+         imports, giving the graph a popularity skew to rank. *)
+      let earlier = List.filteri (fun j _ -> j < i) ids in
+      let imports =
+        if earlier = [] then []
+        else
+          List.init (min imports_per_module i) (fun _ ->
+              let pool = List.length earlier in
+              let j = min (Rng.int rng pool) (Rng.int rng pool) in
+              "dev" ^ string_of_int j ^ "/" ^ List.nth earlier j)
+      in
+      ensure name
+        (Result.map
+           (fun _ -> ())
+           (App_registry.publish registry ~dev:(dev i) ~name ~version:"1.0"
+              ~source:(App_registry.Open_source ("module " ^ name))
+              ~imports handler)))
+    ids;
+  List.mapi (fun i name -> "dev" ^ string_of_int i ^ "/" ^ name) ids

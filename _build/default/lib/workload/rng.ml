@@ -1,0 +1,48 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* splitmix64, truncated to OCaml's 63-bit ints. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next t mod bound
+
+let float t bound = Float.of_int (next t) /. Float.of_int max_int *. bound
+let bool t = next t land 1 = 1
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | items -> List.nth items (int t (List.length items))
+
+let pick_weighted t items =
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 items in
+  if total <= 0 then invalid_arg "Rng.pick_weighted: weights must be positive";
+  let target = int t total in
+  let rec walk acc = function
+    | [] -> invalid_arg "Rng.pick_weighted: unreachable"
+    | (item, w) :: rest -> if acc + w > target then item else walk (acc + w) rest
+  in
+  walk 0 items
+
+let shuffle t items =
+  items
+  |> List.map (fun item -> (next t, item))
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
+
+let alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+let string t ~length =
+  String.init length (fun _ -> alphabet.[int t (String.length alphabet)])
+
+let sample t n items =
+  let shuffled = shuffle t items in
+  List.filteri (fun i _ -> i < n) shuffled

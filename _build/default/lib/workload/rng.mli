@@ -1,0 +1,29 @@
+(** A small deterministic PRNG (splitmix64) so every workload, test
+    and benchmark is reproducible from a seed, independent of the
+    stdlib Random state. *)
+
+type t
+
+val create : seed:int -> t
+val next : t -> int
+(** Uniform non-negative int (62 bits). *)
+
+val int : t -> int -> int
+(** [int t bound] in [[0, bound)]; [bound] must be positive. *)
+
+val float : t -> float -> float
+(** Uniform in [[0, bound)]. *)
+
+val bool : t -> bool
+val pick : t -> 'a list -> 'a
+(** Raises [Invalid_argument] on an empty list. *)
+
+val pick_weighted : t -> ('a * int) list -> 'a
+(** Weighted choice; weights must be positive. *)
+
+val shuffle : t -> 'a list -> 'a list
+val string : t -> length:int -> string
+(** Lowercase alphanumeric. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** Up to [n] distinct elements, order randomized. *)

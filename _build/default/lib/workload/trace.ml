@@ -1,0 +1,127 @@
+open W5_http
+
+type action =
+  | View_profile of { viewer : string; target : string }
+  | List_photos of { viewer : string; target : string }
+  | Read_blog of { viewer : string; target : string }
+  | Upload_photo of { viewer : string; id : string }
+  | Post_blog of { viewer : string; id : string }
+  | Add_friend of { viewer : string; friend_name : string }
+
+let pp_action fmt = function
+  | View_profile { viewer; target } ->
+      Format.fprintf fmt "%s views %s's profile" viewer target
+  | List_photos { viewer; target } ->
+      Format.fprintf fmt "%s lists %s's photos" viewer target
+  | Read_blog { viewer; target } ->
+      Format.fprintf fmt "%s reads %s's blog" viewer target
+  | Upload_photo { viewer; id } -> Format.fprintf fmt "%s uploads %s" viewer id
+  | Post_blog { viewer; id } -> Format.fprintf fmt "%s posts %s" viewer id
+  | Add_friend { viewer; friend_name } ->
+      Format.fprintf fmt "%s befriends %s" viewer friend_name
+
+type mix = {
+  view_profile : int;
+  list_photos : int;
+  read_blog : int;
+  upload_photo : int;
+  post_blog : int;
+  add_friend : int;
+}
+
+let read_heavy =
+  {
+    view_profile = 50;
+    list_photos = 25;
+    read_blog = 15;
+    upload_photo = 4;
+    post_blog = 4;
+    add_friend = 2;
+  }
+
+let write_heavy =
+  {
+    view_profile = 25;
+    list_photos = 15;
+    read_blog = 10;
+    upload_photo = 20;
+    post_blog = 20;
+    add_friend = 10;
+  }
+
+let generate rng ~(society : Populate.society) ~mix ~length =
+  let users = society.Populate.users in
+  let fresh_id prefix i = Printf.sprintf "%s-t%04d" prefix i in
+  List.init length (fun i ->
+      let viewer = Rng.pick rng users in
+      let target = Rng.pick rng users in
+      let kind =
+        Rng.pick_weighted rng
+          [
+            (`View, mix.view_profile);
+            (`Photos, mix.list_photos);
+            (`Blog, mix.read_blog);
+            (`Upload, mix.upload_photo);
+            (`Post, mix.post_blog);
+            (`Friend, mix.add_friend);
+          ]
+      in
+      match kind with
+      | `View -> View_profile { viewer; target }
+      | `Photos -> List_photos { viewer; target }
+      | `Blog -> Read_blog { viewer; target }
+      | `Upload -> Upload_photo { viewer; id = fresh_id "p" i }
+      | `Post -> Post_blog { viewer; id = fresh_id "b" i }
+      | `Friend -> Add_friend { viewer; friend_name = target })
+
+type outcome = {
+  total : int;
+  ok : int;
+  forbidden : int;
+  throttled : int;
+  failed : int;
+}
+
+let replay (society : Populate.society) actions =
+  let clients = Hashtbl.create 16 in
+  let client_of user =
+    match Hashtbl.find_opt clients user with
+    | Some c -> c
+    | None ->
+        let c = Populate.login society user in
+        Hashtbl.replace clients user c;
+        c
+  in
+  let social = "/app/" ^ society.Populate.social_id in
+  let photos = "/app/" ^ society.Populate.photo_id in
+  let blog = "/app/" ^ society.Populate.blog_id in
+  let run = function
+    | View_profile { viewer; target } ->
+        Client.get (client_of viewer) social ~params:[ ("user", target) ]
+    | List_photos { viewer; target } ->
+        Client.get (client_of viewer) photos
+          ~params:[ ("action", "list"); ("user", target) ]
+    | Read_blog { viewer; target } ->
+        Client.get (client_of viewer) blog
+          ~params:[ ("action", "read"); ("user", target) ]
+    | Upload_photo { viewer; id } ->
+        Client.post (client_of viewer) photos
+          ~form:[ ("action", "upload"); ("id", id); ("data", "pix-" ^ id) ]
+    | Post_blog { viewer; id } ->
+        Client.post (client_of viewer) blog
+          ~form:[ ("action", "post"); ("id", id); ("title", id); ("body", "b") ]
+    | Add_friend { viewer; friend_name } ->
+        Client.post (client_of viewer) social
+          ~form:[ ("action", "add_friend"); ("friend", friend_name) ]
+  in
+  List.fold_left
+    (fun outcome action ->
+      let response = run action in
+      let outcome = { outcome with total = outcome.total + 1 } in
+      match W5_http.Response.status_code response.Response.status with
+      | 200 | 302 -> { outcome with ok = outcome.ok + 1 }
+      | 403 -> { outcome with forbidden = outcome.forbidden + 1 }
+      | 429 -> { outcome with throttled = outcome.throttled + 1 }
+      | _ -> { outcome with failed = outcome.failed + 1 })
+    { total = 0; ok = 0; forbidden = 0; throttled = 0; failed = 0 }
+    actions

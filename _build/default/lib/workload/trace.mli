@@ -1,0 +1,46 @@
+(** Request-trace generation and replay.
+
+    Produces seeded sequences of plausible user actions against a
+    {!Populate.society} and replays them through real HTTP clients —
+    the load generator behind the CLI's [serve] command, the scaling
+    benchmarks and the soak tests. *)
+
+type action =
+  | View_profile of { viewer : string; target : string }
+  | List_photos of { viewer : string; target : string }
+  | Read_blog of { viewer : string; target : string }
+  | Upload_photo of { viewer : string; id : string }
+  | Post_blog of { viewer : string; id : string }
+  | Add_friend of { viewer : string; friend_name : string }
+
+val pp_action : Format.formatter -> action -> unit
+
+(** Relative weights of the action kinds; all non-negative, at least
+    one positive. *)
+type mix = {
+  view_profile : int;
+  list_photos : int;
+  read_blog : int;
+  upload_photo : int;
+  post_blog : int;
+  add_friend : int;
+}
+
+val read_heavy : mix
+(** 90% reads — the usual Web shape. *)
+
+val write_heavy : mix
+(** Half the actions mutate. *)
+
+val generate : Rng.t -> society:Populate.society -> mix:mix -> length:int -> action list
+
+type outcome = {
+  total : int;
+  ok : int;        (** HTTP 200/302 *)
+  forbidden : int; (** HTTP 403: flows correctly refused *)
+  throttled : int; (** HTTP 429 *)
+  failed : int;    (** anything else *)
+}
+
+val replay : Populate.society -> action list -> outcome
+(** Executes every action with a per-user logged-in client. *)

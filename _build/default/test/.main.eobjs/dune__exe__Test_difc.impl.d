@@ -1,0 +1,1 @@
+test/test_difc.ml: Alcotest Array Capability Flow Format Label List Principal Printf QCheck QCheck_alcotest String Tag W5_difc

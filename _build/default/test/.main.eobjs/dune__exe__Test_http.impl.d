@@ -1,0 +1,1 @@
+test/test_http.ml: Alcotest Char Client Dns Format Headers Html List Printf QCheck QCheck_alcotest Request Response Session String Uri W5_http

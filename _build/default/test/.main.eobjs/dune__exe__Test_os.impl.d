@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Array Audit Capability Char Flow Format Fs Fun Kernel Label List Os_error Printf Proc QCheck QCheck_alcotest Queue Resource Service String Syscall Tag W5_difc W5_os

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Client Flow Label List Platform Populate Principal Printf Response Rng String Trace W5_apps W5_difc W5_http W5_os W5_platform W5_store W5_workload

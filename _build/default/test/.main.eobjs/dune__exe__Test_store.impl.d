@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Capability Char Flow Format Kernel Label List Obj_store Os_error Proc QCheck QCheck_alcotest Query Record Resource String Syscall Tag W5_difc W5_os W5_store

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Format Fun List Option Populate Rng String Trace W5_http W5_platform W5_rank W5_workload

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "w5"
+    [
+      ("difc", Test_difc.suite);
+      ("os", Test_os.suite);
+      ("store", Test_store.suite);
+      ("http", Test_http.suite);
+      ("platform", Test_platform.suite);
+      ("rank", Test_rank.suite);
+      ("federation", Test_federation.suite);
+      ("apps", Test_apps.suite);
+      ("workload", Test_workload.suite);
+      ("integration", Test_integration.suite);
+      ("noninterference", Test_noninterference.suite);
+      ("soak", Test_soak.suite);
+    ]

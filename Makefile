@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc
+.PHONY: all build test check bench examples clean doc
 
 all: build
 
@@ -9,6 +9,11 @@ build:
 
 test:
 	dune runtest
+
+# What CI runs (.github/workflows/ci.yml): the full build plus the
+# tier-1 test suite.
+check:
+	dune build @all && dune runtest
 
 bench:
 	dune exec bench/main.exe

@@ -519,6 +519,60 @@ let bench_syscall =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* metrics-overhead: what instrumentation costs on the syscall path    *)
+(* ------------------------------------------------------------------ *)
+
+(* Three kernels running the identical read: registry on (the
+   default), registry off (one branch per metric site), and registry
+   on with the tracer also recording spans. *)
+let obs_ctx_of kernel =
+  let ctx = spawn_on kernel "bench" in
+  (match
+     W5_os.Syscall.create_file ctx "/bench-file" ~labels:Flow.bottom
+       ~data:(String.make 256 'x')
+   with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  ctx
+
+let metered_ctx = obs_ctx_of (W5_os.Kernel.create ())
+
+let unmetered_ctx =
+  let kernel = W5_os.Kernel.create () in
+  W5_obs.Metrics.set_enabled (W5_os.Kernel.metrics kernel) false;
+  obs_ctx_of kernel
+
+let traced_ctx =
+  let kernel = W5_os.Kernel.create () in
+  W5_obs.Tracer.set_enabled (W5_os.Kernel.tracer kernel) true;
+  obs_ctx_of kernel
+
+let obs_registry = W5_obs.Metrics.create ()
+
+let obs_counter =
+  W5_obs.Metrics.counter obs_registry "bench_counter" ~help:"bench"
+
+let obs_histogram =
+  W5_obs.Metrics.histogram obs_registry "bench_histogram" ~help:"bench"
+
+let bench_metrics =
+  Test.make_grouped ~name:"metrics-overhead"
+    [
+      Test.make ~name:"read-taint-metered"
+        (staged (fun () -> W5_os.Syscall.read_file_taint metered_ctx "/bench-file"));
+      Test.make ~name:"read-taint-unmetered"
+        (staged (fun () ->
+             W5_os.Syscall.read_file_taint unmetered_ctx "/bench-file"));
+      Test.make ~name:"read-taint-traced"
+        (staged (fun () -> W5_os.Syscall.read_file_taint traced_ctx "/bench-file"));
+      Test.make ~name:"counter-inc"
+        (staged (fun () ->
+             W5_obs.Metrics.inc obs_counter ~labels:[ ("op", "bench") ]));
+      Test.make ~name:"histogram-observe"
+        (staged (fun () -> W5_obs.Metrics.observe obs_histogram 42));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* client-filter (E9)                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -688,6 +742,7 @@ let groups =
     bench_federation;
     bench_portability;
     bench_syscall;
+    bench_metrics;
     bench_filter;
   ]
 
@@ -772,4 +827,10 @@ let () =
     "label-ops/set-union-1";
   print_ratio "label repr: set vs sorted array (union, 64 tags)"
     "label-ops/set-union-64" "label-ops/array-union-64";
+  print_ratio "OBS metrics overhead (metered/unmetered tainting read)"
+    "metrics-overhead/read-taint-metered"
+    "metrics-overhead/read-taint-unmetered";
+  print_ratio "OBS tracing overhead (traced/metered tainting read)"
+    "metrics-overhead/read-taint-traced"
+    "metrics-overhead/read-taint-metered";
   Printf.printf "\nbench: done\n"

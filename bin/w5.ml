@@ -269,6 +269,76 @@ let export_cmd =
        ~doc:"Print a user's whole-account portable bundle (data takeout).")
     term
 
+(* ---- w5 stats: the label-safe telemetry dump ---- *)
+
+let stats seed users format =
+  let society = build_society ~seed ~users ~enforcing:true in
+  let platform = society.W5_workload.Populate.platform in
+  let kernel = Platform.kernel platform in
+  W5_obs.Tracer.set_enabled (W5_os.Kernel.tracer kernel) true;
+  let everyone = society.W5_workload.Populate.users in
+  (* Deterministic mix: everyone loads their own profile (allows), one
+     photo listing for route diversity, and one provably-foreign view
+     — a logged-in non-friend hitting someone's profile — so the
+     friends-only declassifier refuses and the perimeter records an
+     export denial. *)
+  List.iter
+    (fun user ->
+      let client = W5_workload.Populate.login society user in
+      ignore (Client.get client "/app/core/social" ~params:[ ("user", user) ]))
+    everyone;
+  (let u0 = List.hd everyone in
+   let c0 = W5_workload.Populate.login society u0 in
+   ignore
+     (Client.get c0 "/app/core/photos"
+        ~params:[ ("action", "list"); ("user", u0) ]));
+  let friends_of user =
+    let account = Platform.account_exn platform user in
+    match Platform.read_user_record platform account ~file:"friends" with
+    | Ok r -> W5_store.Record.get_list r "friends"
+    | Error _ -> []
+  in
+  let stranger_pair =
+    List.find_map
+      (fun owner ->
+        let friends = friends_of owner in
+        List.find_map
+          (fun viewer ->
+            if viewer <> owner && not (List.mem viewer friends) then
+              Some (viewer, owner)
+            else None)
+          everyone)
+      everyone
+  in
+  (match stranger_pair with
+  | None -> ()
+  | Some (viewer, owner) ->
+      let client = W5_workload.Populate.login society viewer in
+      ignore (Client.get client "/app/core/social" ~params:[ ("user", owner) ]));
+  let metrics = W5_os.Kernel.metrics kernel in
+  (match format with
+  | "json" -> print_string (W5_obs.Exposition.json metrics)
+  | _ -> print_string (W5_obs.Exposition.prometheus metrics));
+  print_newline ();
+  (match W5_obs.Tracer.latest (W5_os.Kernel.tracer kernel) with
+  | None -> ()
+  | Some span ->
+      print_string "# last recorded trace (logical ticks)\n";
+      print_string (W5_obs.Exposition.trace_tree span));
+  `Ok ()
+
+let stats_cmd =
+  let format =
+    Arg.(value & opt string "prometheus" & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: prometheus (default) or json.")
+  in
+  let term = Term.(ret (const stats $ seed_arg $ users_arg $ format)) in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a deterministic request mix and dump the label-safe \
+             telemetry: metrics plus the last request trace.")
+    term
+
 (* ---- w5 experiments: the index ---- *)
 
 let experiments () =
@@ -310,6 +380,6 @@ let main_cmd =
   let info = Cmd.info "w5" ~version:"1.0" ~doc in
   Cmd.group info
     [ serve_cmd; audit_cmd; rank_cmd; sync_cmd; trace_cmd; export_cmd;
-      experiments_cmd ]
+      stats_cmd; experiments_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

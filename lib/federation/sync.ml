@@ -316,20 +316,44 @@ let expanded_files link =
   in
   link.sync_files @ from_dirs
 
+(* Sync telemetry lands on side A's kernel registry: the link runs as
+   an agent of that platform, and a one-sided home avoids double
+   counting. Outcomes are direction/verdict names only. *)
+let meter_round link stats =
+  let metrics = Kernel.metrics (Platform.kernel link.side_a.platform) in
+  W5_obs.Metrics.inc
+    (W5_obs.Metrics.counter metrics "w5_sync_rounds_total"
+       ~help:"Completed federation sync rounds");
+  let outcomes = W5_obs.Metrics.counter metrics "w5_sync_outcomes_total"
+      ~help:"Per-file sync outcomes by direction or merge"
+  in
+  let bump outcome by =
+    if by > 0 then
+      W5_obs.Metrics.inc outcomes ~labels:[ ("outcome", outcome) ] ~by
+  in
+  bump "a_to_b" stats.a_to_b;
+  bump "b_to_a" stats.b_to_a;
+  bump "merged" stats.merged;
+  bump "unchanged" stats.unchanged
+
 let sync link =
-  List.fold_left
-    (fun acc file ->
-      match acc with
-      | Error _ as e -> e
-      | Ok stats -> (
-          match sync_file link ~file with
-          | Error e -> Error (file ^ ": " ^ e)
-          | Ok `Unchanged -> Ok { stats with unchanged = stats.unchanged + 1 }
-          | Ok `A_to_b -> Ok { stats with a_to_b = stats.a_to_b + 1 }
-          | Ok `B_to_a -> Ok { stats with b_to_a = stats.b_to_a + 1 }
-          | Ok `Merged -> Ok { stats with merged = stats.merged + 1 }))
-    (Ok { a_to_b = 0; b_to_a = 0; merged = 0; unchanged = 0 })
-    (expanded_files link)
+  let result =
+    List.fold_left
+      (fun acc file ->
+        match acc with
+        | Error _ as e -> e
+        | Ok stats -> (
+            match sync_file link ~file with
+            | Error e -> Error (file ^ ": " ^ e)
+            | Ok `Unchanged -> Ok { stats with unchanged = stats.unchanged + 1 }
+            | Ok `A_to_b -> Ok { stats with a_to_b = stats.a_to_b + 1 }
+            | Ok `B_to_a -> Ok { stats with b_to_a = stats.b_to_a + 1 }
+            | Ok `Merged -> Ok { stats with merged = stats.merged + 1 }))
+      (Ok { a_to_b = 0; b_to_a = 0; merged = 0; unchanged = 0 })
+      (expanded_files link)
+  in
+  (match result with Ok stats -> meter_round link stats | Error _ -> ());
+  result
 
 let converged link =
   let account_a = Platform.account_exn link.side_a.platform link.link_user in

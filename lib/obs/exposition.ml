@@ -1,0 +1,169 @@
+(* ---- Prometheus text format ---- *)
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let escape_help v =
+  let buf = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> k ^ "=\"" ^ escape_label_value v ^ "\"")
+             labels)
+      ^ "}"
+
+let kind_name = function
+  | Metrics.Counter -> "counter"
+  | Metrics.Gauge -> "gauge"
+  | Metrics.Histogram -> "histogram"
+
+let prometheus registry =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s;
+                                   Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      if s.Metrics.sample_help <> "" then
+        line "# HELP %s %s" s.sample_name (escape_help s.sample_help);
+      line "# TYPE %s %s" s.sample_name (kind_name s.sample_kind);
+      List.iter
+        (fun (labels, point) ->
+          match point with
+          | Metrics.Value v ->
+              line "%s%s %d" s.sample_name (render_labels labels) v
+          | Metrics.Histo { counts; sum; count } ->
+              let cumulative = ref 0 in
+              List.iteri
+                (fun i c ->
+                  cumulative := !cumulative + c;
+                  let le =
+                    match List.nth_opt s.sample_buckets i with
+                    | Some bound -> string_of_int bound
+                    | None -> "+Inf"
+                  in
+                  line "%s_bucket%s %d" s.sample_name
+                    (render_labels (labels @ [ ("le", le) ]))
+                    !cumulative)
+                counts;
+              line "%s_sum%s %d" s.sample_name (render_labels labels) sum;
+              line "%s_count%s %d" s.sample_name (render_labels labels) count)
+        s.sample_series)
+    (Metrics.dump registry);
+  Buffer.contents buf
+
+(* ---- JSON ---- *)
+
+let json_string v =
+  let buf = Buffer.create (String.length v + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> json_string k ^ ":" ^ json_string v) labels)
+  ^ "}"
+
+let json_ints ns = "[" ^ String.concat "," (List.map string_of_int ns) ^ "]"
+
+let json registry =
+  let metric (s : Metrics.sample) =
+    let series (labels, point) =
+      let fields =
+        match point with
+        | Metrics.Value v ->
+            [ ("labels", json_labels labels); ("value", string_of_int v) ]
+        | Metrics.Histo { counts; sum; count } ->
+            [ ("labels", json_labels labels);
+              ("buckets", json_ints counts);
+              ("sum", string_of_int sum);
+              ("count", string_of_int count) ]
+      in
+      "{"
+      ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
+      ^ "}"
+    in
+    let fields =
+      [ ("name", json_string s.Metrics.sample_name);
+        ("kind", json_string (kind_name s.sample_kind)) ]
+      @ (if s.sample_help = "" then []
+         else [ ("help", json_string s.sample_help) ])
+      @ (match s.sample_kind with
+        | Metrics.Histogram -> [ ("bounds", json_ints s.sample_buckets) ]
+        | Metrics.Counter | Metrics.Gauge -> [])
+      @ [ ("series",
+           "[" ^ String.concat "," (List.map series s.sample_series) ^ "]") ]
+    in
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)
+    ^ "}"
+  in
+  Printf.sprintf "{\"series_count\":%d,\"overflowed\":%d,\"metrics\":[%s]}"
+    (Metrics.series_count registry)
+    (Metrics.overflowed registry)
+    (String.concat "," (List.map metric (Metrics.dump registry)))
+
+(* ---- trace rendering ---- *)
+
+let render_fields fields =
+  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) fields)
+
+let trace_tree root =
+  let buf = Buffer.create 512 in
+  let rec go depth (span : Span.t) =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf span.Span.span_name;
+    let d = Span.duration span in
+    if d = 0 then
+      Buffer.add_string buf
+        (Printf.sprintf "  [t%d +0]" span.Span.start_tick)
+    else
+      Buffer.add_string buf
+        (Printf.sprintf "  [t%d..t%d +%d]" span.Span.start_tick
+           span.Span.end_tick d);
+    (match span.Span.span_fields with
+    | [] -> ()
+    | fields -> Buffer.add_string buf ("  " ^ render_fields fields));
+    Buffer.add_char buf '\n';
+    List.iter (go (depth + 1)) span.Span.children
+  in
+  go 0 root;
+  Buffer.contents buf
+
+let traces tracer =
+  String.concat "\n" (List.map trace_tree (Tracer.traces tracer))

@@ -1,0 +1,26 @@
+(** Render telemetry for operators.
+
+    Three views over the same data-free state: the Prometheus text
+    exposition format (for a scrape endpoint), a JSON document (for
+    provider tooling), and a flame-style indented tree for one
+    recorded trace. Output is deterministic — metrics sort by name,
+    series by label set — so goldens can assert on it verbatim. *)
+
+val prometheus : Metrics.t -> string
+(** Prometheus text format 0.0.4: [# HELP] / [# TYPE] preambles,
+    histograms as cumulative [_bucket{le="…"}] plus [_sum]/[_count]. *)
+
+val json : Metrics.t -> string
+(** A single JSON object:
+    [{"series_count":…,"overflowed":…,"metrics":[…]}]. *)
+
+val trace_tree : Span.t -> string
+(** One trace as an indented tree, two spaces per depth:
+    {v
+gateway:app core/social  [t12..t40 +28] status=200
+  sys.fs.read  [t13..t14 +1]
+    flow.check  [t14 +0] op=fs.read decision=allow src_secrecy=1
+    v} *)
+
+val traces : Tracer.t -> string
+(** Every completed trace, oldest first, blank-line separated. *)

@@ -1,0 +1,182 @@
+type labels = (string * string) list
+type kind = Counter | Gauge | Histogram
+
+type series = {
+  s_labels : labels;  (* sorted by key *)
+  mutable s_value : int;        (* counter/gauge value; histogram sum *)
+  mutable s_count : int;        (* histogram observation count *)
+  s_buckets : int array;        (* per-bucket counts; [||] for scalars *)
+}
+
+type metric = {
+  m_name : string;
+  m_help : string;
+  m_kind : kind;
+  m_bounds : int array;  (* ascending upper bounds; histograms only *)
+  m_series : (string, series) Hashtbl.t;
+  m_owner : t;
+}
+
+and t = {
+  mutable r_enabled : bool;
+  r_max_series : int;
+  r_metrics : (string, metric) Hashtbl.t;
+  mutable r_overflowed : int;
+}
+
+let default_buckets = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
+
+let create ?(max_series = 64) ?(enabled = true) () =
+  { r_enabled = enabled; r_max_series = max_series;
+    r_metrics = Hashtbl.create 32; r_overflowed = 0 }
+
+let enabled r = r.r_enabled
+let set_enabled r b = r.r_enabled <- b
+let max_series r = r.r_max_series
+let overflowed r = r.r_overflowed
+
+let sort_labels labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+(* Series key: sorted "k=v" pairs, unit-separated so values containing
+   '=' or ',' cannot collide with a different label set. *)
+let key_of labels =
+  String.concat "\x1f"
+    (List.map (fun (k, v) -> k ^ "\x1e" ^ v) labels)
+
+let overflow_labels = [ ("w5_capped", "true") ]
+
+let register r ~kind ~help ?(buckets = []) name =
+  match Hashtbl.find_opt r.r_metrics name with
+  | Some m ->
+      if m.m_kind <> kind then
+        invalid_arg ("metric " ^ name ^ ": registered with a different kind");
+      m
+  | None ->
+      let bounds =
+        match kind with
+        | Histogram ->
+            let b = if buckets = [] then default_buckets else buckets in
+            Array.of_list (List.sort_uniq Int.compare b)
+        | Counter | Gauge -> [||]
+      in
+      let m =
+        { m_name = name; m_help = help; m_kind = kind; m_bounds = bounds;
+          m_series = Hashtbl.create 8; m_owner = r }
+      in
+      Hashtbl.replace r.r_metrics name m;
+      m
+
+let counter r ?(help = "") name = register r ~kind:Counter ~help name
+let gauge r ?(help = "") name = register r ~kind:Gauge ~help name
+
+let histogram r ?(help = "") ?buckets name =
+  register r ~kind:Histogram ~help ?buckets name
+
+(* Find or create the series for [labels]; at the cardinality cap the
+   update lands in the shared overflow series instead, so attacker-
+   chosen label values cannot mint unbounded telemetry state. *)
+let rec series_for m labels =
+  let labels = sort_labels labels in
+  let key = key_of labels in
+  match Hashtbl.find_opt m.m_series key with
+  | Some s -> s
+  | None ->
+      if Hashtbl.length m.m_series >= m.m_owner.r_max_series
+         && labels <> overflow_labels
+      then begin
+        m.m_owner.r_overflowed <- m.m_owner.r_overflowed + 1;
+        series_for m overflow_labels
+      end
+      else begin
+        let s =
+          { s_labels = labels; s_value = 0; s_count = 0;
+            s_buckets = Array.make (Array.length m.m_bounds + 1) 0 }
+        in
+        Hashtbl.replace m.m_series key s;
+        s
+      end
+
+let inc ?(labels = []) ?(by = 1) m =
+  if m.m_owner.r_enabled then begin
+    let s = series_for m labels in
+    s.s_value <- s.s_value + by
+  end
+
+let set ?(labels = []) m v =
+  if m.m_owner.r_enabled then begin
+    let s = series_for m labels in
+    s.s_value <- v
+  end
+
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe ?(labels = []) m v =
+  if m.m_owner.r_enabled then begin
+    let s = series_for m labels in
+    s.s_value <- s.s_value + v;
+    s.s_count <- s.s_count + 1;
+    let i = bucket_index m.m_bounds v in
+    s.s_buckets.(i) <- s.s_buckets.(i) + 1
+  end
+
+let find_series m labels =
+  Hashtbl.find_opt m.m_series (key_of (sort_labels labels))
+
+let value ?(labels = []) m =
+  match find_series m labels with Some s -> s.s_value | None -> 0
+
+let histogram_count ?(labels = []) m =
+  match find_series m labels with Some s -> s.s_count | None -> 0
+
+let histogram_sum = value
+
+let series_count r =
+  Hashtbl.fold (fun _ m acc -> acc + Hashtbl.length m.m_series) r.r_metrics 0
+
+type point =
+  | Value of int
+  | Histo of { counts : int list; sum : int; count : int }
+
+type sample = {
+  sample_name : string;
+  sample_help : string;
+  sample_kind : kind;
+  sample_buckets : int list;
+  sample_series : (labels * point) list;
+}
+
+let dump r =
+  Hashtbl.fold
+    (fun _ m acc ->
+      let series =
+        Hashtbl.fold
+          (fun key s acc ->
+            let point =
+              match m.m_kind with
+              | Counter | Gauge -> Value s.s_value
+              | Histogram ->
+                  Histo
+                    { counts = Array.to_list s.s_buckets;
+                      sum = s.s_value; count = s.s_count }
+            in
+            (key, (s.s_labels, point)) :: acc)
+          m.m_series []
+        |> List.sort (fun (ka, _) (kb, _) -> String.compare ka kb)
+        |> List.map snd
+      in
+      { sample_name = m.m_name;
+        sample_help = m.m_help;
+        sample_kind = m.m_kind;
+        sample_buckets = Array.to_list m.m_bounds;
+        sample_series = series }
+      :: acc)
+    r.r_metrics []
+  |> List.sort (fun a b -> String.compare a.sample_name b.sample_name)
+
+let clear r =
+  Hashtbl.iter (fun _ m -> Hashtbl.reset m.m_series) r.r_metrics;
+  r.r_overflowed <- 0

@@ -1,0 +1,102 @@
+(** Label-safe metrics: the platform half of §3.5's "debugging without
+    data".
+
+    A registry of counters, gauges and fixed-bucket histograms with
+    Prometheus-style label dimensions. The whole module obeys the W5
+    telemetry rule: a series may carry {e structural} facts (operation
+    names, decisions, label sizes, tick deltas) but never user bytes.
+    Two mechanisms back the rule up:
+
+    - values are integers — there is nowhere to put a payload;
+    - every metric has a {b cardinality cap}: once a metric holds
+      [max_series] distinct label sets, further label sets collapse
+      into a single overflow series (labels [{w5_capped="true"}]).
+      Without the cap, a malicious module could mint one series per
+      user (or per secret bit) and read the data back out of the
+      provider's dashboard. With it, telemetry volume is bounded by
+      configuration, not by attacker-chosen names. *)
+
+type t
+(** A metric registry. The kernel owns one per instance
+    ({!W5_os.Kernel.metrics} once the os layer is linked in). *)
+
+type metric
+(** A named family of series: one counter/gauge/histogram per distinct
+    label set. *)
+
+type labels = (string * string) list
+(** Label dimensions, e.g. [[("op", "fs.read"); ("decision", "allow")]].
+    Order does not matter; series identity is the sorted set. *)
+
+type kind = Counter | Gauge | Histogram
+
+val create : ?max_series:int -> ?enabled:bool -> unit -> t
+(** [max_series] (default 64) caps the number of distinct label sets
+    per metric — see the covert-channel note above. [enabled] (default
+    [true]); a disabled registry accepts registrations but drops every
+    update, which is the uninstrumented arm of the
+    [metrics-overhead] benchmark. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val max_series : t -> int
+
+val counter : t -> ?help:string -> string -> metric
+(** Register (or look up) a counter. Re-registering a name returns the
+    existing metric; re-registering with a different kind raises
+    [Invalid_argument]. *)
+
+val gauge : t -> ?help:string -> string -> metric
+
+val histogram : t -> ?help:string -> ?buckets:int list -> string -> metric
+(** Fixed upper-bound buckets in ascending order (default powers of
+    two, 1..1024), counted cumulatively at exposition; a [+Inf] bucket
+    is implicit. Observations are integers — tick deltas, sizes. *)
+
+val inc : ?labels:labels -> ?by:int -> metric -> unit
+(** Add to a counter or gauge ([by] defaults to 1). *)
+
+val set : ?labels:labels -> metric -> int -> unit
+(** Set a gauge. *)
+
+val observe : ?labels:labels -> metric -> int -> unit
+(** Record one observation in a histogram. *)
+
+val value : ?labels:labels -> metric -> int
+(** Current value of a counter/gauge series (0 if the series does not
+    exist). For histograms, the cumulated sum. *)
+
+val histogram_count : ?labels:labels -> metric -> int
+val histogram_sum : ?labels:labels -> metric -> int
+
+val series_count : t -> int
+(** Total live series across all metrics. *)
+
+val overflowed : t -> int
+(** How many updates were redirected into overflow series — nonzero
+    means some label dimension outgrew the cap. *)
+
+(** {1 Snapshot for exposition} *)
+
+type point =
+  | Value of int
+  | Histo of { counts : int list; sum : int; count : int }
+      (** [counts] are per-bucket (non-cumulative), one per declared
+          bound, then the overflow bucket. *)
+
+type sample = {
+  sample_name : string;
+  sample_help : string;
+  sample_kind : kind;
+  sample_buckets : int list;  (** declared bounds (histograms only) *)
+  sample_series : (labels * point) list;  (** sorted by label set *)
+}
+
+val dump : t -> sample list
+(** Every registered metric, sorted by name; series sorted by label
+    set. Stable across runs with the same history — exposition output
+    is used as golden test material. *)
+
+val clear : t -> unit
+(** Drop all series (registrations survive). *)

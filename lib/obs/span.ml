@@ -1,0 +1,28 @@
+type t = {
+  span_id : int;
+  parent_id : int option;
+  span_name : string;
+  mutable span_fields : (string * string) list;
+  start_tick : int;
+  mutable end_tick : int;
+  mutable children : t list;
+}
+
+let make ~id ~parent ~name ~fields ~start_tick =
+  { span_id = id; parent_id = parent; span_name = name; span_fields = fields;
+    start_tick; end_tick = -1; children = [] }
+
+let is_open span = span.end_tick < 0
+
+let duration span =
+  if is_open span then 0 else span.end_tick - span.start_tick
+
+let annotate span fields = span.span_fields <- span.span_fields @ fields
+let add_child parent child = parent.children <- child :: parent.children
+
+let finish span ~tick =
+  span.end_tick <- max tick span.start_tick;
+  span.children <- List.rev span.children
+
+let rec descendant_count span =
+  List.fold_left (fun acc c -> acc + descendant_count c) 1 span.children

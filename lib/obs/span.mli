@@ -1,0 +1,38 @@
+(** One node of a request trace.
+
+    Spans measure {e logical} time (kernel ticks), because wall-clock
+    durations of operations over private data are themselves a covert
+    channel in a simulation that admits no real concurrency. Fields
+    carry only data-free facts — op names, decisions, label {e sizes},
+    tick deltas — in the spirit of the audit log (§3.5). *)
+
+type t = {
+  span_id : int;
+  parent_id : int option;
+  span_name : string;  (** e.g. ["gateway:app core/social"], ["sys.fs.read"] *)
+  mutable span_fields : (string * string) list;  (** data-free annotations *)
+  start_tick : int;
+  mutable end_tick : int;  (** [-1] while the span is still open *)
+  mutable children : t list;  (** oldest first once finished *)
+}
+
+val make :
+  id:int -> parent:int option -> name:string ->
+  fields:(string * string) list -> start_tick:int -> t
+
+val is_open : t -> bool
+
+val duration : t -> int
+(** Tick delta; 0 for an instantaneous event or an open span. *)
+
+val annotate : t -> (string * string) list -> unit
+(** Append fields (later wins on render, duplicates are kept). *)
+
+val add_child : t -> t -> unit
+(** Children accumulate newest-first; {!finish} restores order. *)
+
+val finish : t -> tick:int -> unit
+(** Close the span and put its children oldest-first. *)
+
+val descendant_count : t -> int
+(** Number of spans in the subtree, the span itself included. *)

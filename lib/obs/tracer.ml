@@ -1,0 +1,71 @@
+type t = {
+  mutable t_enabled : bool;
+  t_capacity : int;
+  mutable next_id : int;
+  mutable stack : Span.t list;      (* open spans, innermost first *)
+  mutable completed : Span.t list;  (* finished roots, newest first *)
+  mutable completed_count : int;
+}
+
+let create ?(capacity = 16) ?(enabled = false) () =
+  { t_enabled = enabled; t_capacity = max 1 capacity; next_id = 0;
+    stack = []; completed = []; completed_count = 0 }
+
+let enabled t = t.t_enabled
+let set_enabled t b = t.t_enabled <- b
+let open_depth t = List.length t.stack
+
+let commit t root =
+  t.completed <- root :: t.completed;
+  t.completed_count <- t.completed_count + 1;
+  if t.completed_count > t.t_capacity then begin
+    t.completed <- List.filteri (fun i _ -> i < t.t_capacity) t.completed;
+    t.completed_count <- t.t_capacity
+  end
+
+let start_span t ~tick ?(fields = []) name =
+  if t.t_enabled then begin
+    t.next_id <- t.next_id + 1;
+    let parent = match t.stack with [] -> None | p :: _ -> Some p.Span.span_id in
+    let span =
+      Span.make ~id:t.next_id ~parent ~name ~fields ~start_tick:tick
+    in
+    (match t.stack with [] -> () | p :: _ -> Span.add_child p span);
+    t.stack <- span :: t.stack
+  end
+
+let annotate t fields =
+  if t.t_enabled then
+    match t.stack with [] -> () | span :: _ -> Span.annotate span fields
+
+let end_span t ~tick =
+  if t.t_enabled then
+    match t.stack with
+    | [] -> ()
+    | span :: rest ->
+        Span.finish span ~tick;
+        t.stack <- rest;
+        if rest = [] then commit t span
+
+let event t ~tick ?fields name =
+  if t.t_enabled then begin
+    start_span t ~tick ?fields name;
+    end_span t ~tick
+  end
+
+let with_span t ~clock ?fields name f =
+  if not t.t_enabled then f ()
+  else begin
+    start_span t ~tick:(clock ()) ?fields name;
+    match f () with
+    | result -> end_span t ~tick:(clock ()); result
+    | exception exn -> end_span t ~tick:(clock ()); raise exn
+  end
+
+let traces t = List.rev t.completed
+let latest t = match t.completed with [] -> None | s :: _ -> Some s
+
+let clear t =
+  t.stack <- [];
+  t.completed <- [];
+  t.completed_count <- 0

@@ -1,0 +1,55 @@
+(** Request tracing over the kernel's logical clock.
+
+    The tracer keeps a stack of open spans; {!start_span} nests under
+    the innermost open span, and finishing a {e root} span moves the
+    whole tree into a bounded ring of completed traces. Disabled (the
+    default) every operation is a constant-time no-op, so the
+    instrumented hot paths cost one branch when nobody is looking.
+
+    Ticks are supplied by the caller (normally
+    [W5_os.Kernel.tick]) — the tracer itself has no clock, which keeps
+    this library dependency-free and the recorded durations logical. *)
+
+type t
+
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+(** [capacity] (default 16) bounds the ring of {e completed} traces:
+    the oldest trace is dropped when a new root finishes beyond the
+    cap. [enabled] defaults to [false]. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val start_span :
+  t -> tick:int -> ?fields:(string * string) list -> string -> unit
+(** Open a span named after the current operation, nested under the
+    innermost open span (a new root otherwise). No-op when disabled. *)
+
+val annotate : t -> (string * string) list -> unit
+(** Attach data-free fields to the innermost open span. *)
+
+val end_span : t -> tick:int -> unit
+(** Close the innermost open span. Closing the last open span commits
+    the trace. Unbalanced calls are ignored. *)
+
+val event :
+  t -> tick:int -> ?fields:(string * string) list -> string -> unit
+(** An instantaneous child span (start = end = [tick]): flow-check
+    decisions, export verdicts. *)
+
+val with_span :
+  t -> clock:(unit -> int) -> ?fields:(string * string) list -> string ->
+  (unit -> 'a) -> 'a
+(** [with_span t ~clock name f] brackets [f] in a span; the span is
+    closed (at the clock's then-current tick) even if [f] raises. *)
+
+val open_depth : t -> int
+(** How many spans are currently open (0 = between requests). *)
+
+val traces : t -> Span.t list
+(** Completed root spans, oldest first. *)
+
+val latest : t -> Span.t option
+
+val clear : t -> unit
+(** Drop completed traces and abandon any open stack. *)

@@ -53,6 +53,13 @@ let record log ~tick ~pid event =
 
 let length log = log.count
 let entries log = List.rev log.items
+
+(* Oldest-first traversal without building the reversed list; the log
+   is bounded (see [create]) so the non-tail recursion is fine. *)
+let fold log ~init ~f =
+  List.fold_right (fun entry acc -> f acc entry) log.items init
+
+let iter log ~f = fold log ~init:() ~f:(fun () entry -> f entry)
 let find log ~f = List.rev (List.filter f log.items)
 
 let is_denial entry =
@@ -72,6 +79,17 @@ let clear log =
   log.seq <- 0;
   log.items <- [];
   log.count <- 0
+
+let event_kind = function
+  | Flow_checked _ -> "flow_checked"
+  | Label_changed _ -> "label_changed"
+  | Export_attempted _ -> "export_attempted"
+  | Declassified _ -> "declassified"
+  | Spawned _ -> "spawned"
+  | Gate_invoked _ -> "gate_invoked"
+  | Killed _ -> "killed"
+  | Quota_hit _ -> "quota_hit"
+  | App_note _ -> "app_note"
 
 let pp_decision fmt = function
   | Ok () -> Format.pp_print_string fmt "ALLOW"

@@ -53,10 +53,22 @@ val length : log -> int
 val entries : log -> entry list
 (** Oldest first. *)
 
+val iter : log -> f:(entry -> unit) -> unit
+(** Visit entries oldest first without materializing the {!entries}
+    list — what the tracer and [denials]-style queries should use. *)
+
+val fold : log -> init:'a -> f:('a -> entry -> 'a) -> 'a
+(** Oldest-first fold, same allocation guarantee as {!iter}. *)
+
 val find : log -> f:(entry -> bool) -> entry list
 val denials : log -> entry list
 (** Only the entries whose decision was a denial. *)
 
 val for_pid : log -> int -> entry list
 val clear : log -> unit
+
+val event_kind : event -> string
+(** Constructor name as a low-cardinality telemetry label, e.g.
+    ["flow_checked"] — safe to export, unlike the payload. *)
+
 val pp_entry : Format.formatter -> entry -> unit

@@ -1,9 +1,21 @@
 open W5_difc
+open W5_obs
 
 type gate = {
   g_owner : Principal.t;
   g_caps : Capability.Set.t;
   g_entry : ctx -> string -> unit;
+}
+
+and meters = {
+  syscalls : Metrics.metric;
+  flow_checks : Metrics.metric;
+  flow_check_src_size : Metrics.metric;
+  quota_units : Metrics.metric;
+  quota_kills : Metrics.metric;
+  spawns : Metrics.metric;
+  gate_invocations : Metrics.metric;
+  audit_events : Metrics.metric;
 }
 
 and t = {
@@ -17,6 +29,9 @@ and t = {
   mutable k_tick : int;
   mutable k_enforcing : bool;
   k_principal : Principal.t;
+  k_metrics : Metrics.t;
+  k_tracer : Tracer.t;
+  k_meters : meters;
 }
 
 and ctx = {
@@ -28,10 +43,45 @@ and body = ctx -> unit
 
 exception Quota_kill of Resource.kind
 
-let create ?(enforcing = true) ?audit_capacity () =
+(* ~128k entries at ~100B apiece is on the order of 10 MB: enough
+   history for days of denial queries on a busy provider, small enough
+   that a soak run's memory stays flat. Sequence numbers keep counting
+   across eviction, so truncation is observable (Audit.create). *)
+let default_audit_capacity = 65536
+
+let make_meters m =
+  {
+    syscalls =
+      Metrics.counter m "w5_syscalls_total"
+        ~help:"Kernel crossings by operation";
+    flow_checks =
+      Metrics.counter m "w5_flow_checks_total"
+        ~help:"DIFC flow judgments by operation and decision";
+    flow_check_src_size =
+      Metrics.histogram m "w5_flow_check_src_secrecy_size"
+        ~help:"Source secrecy label cardinality at flow checks"
+        ~buckets:[ 0; 1; 2; 4; 8; 16; 32; 64 ];
+    quota_units =
+      Metrics.counter m "w5_quota_units_total"
+        ~help:"Resource units charged by kind";
+    quota_kills =
+      Metrics.counter m "w5_quota_kills_total"
+        ~help:"Processes killed for exceeding a quota, by kind";
+    spawns =
+      Metrics.counter m "w5_proc_spawns_total" ~help:"Processes created";
+    gate_invocations =
+      Metrics.counter m "w5_gate_invocations_total"
+        ~help:"Privilege-transfer gate calls by gate";
+    audit_events =
+      Metrics.counter m "w5_audit_events_total"
+        ~help:"Audit log records by event kind";
+  }
+
+let create ?(enforcing = true) ?(audit_capacity = default_audit_capacity) () =
+  let k_metrics = Metrics.create () in
   {
     k_fs = Fs.create ();
-    k_audit = Audit.create ?capacity:audit_capacity ();
+    k_audit = Audit.create ~capacity:audit_capacity ();
     procs = Hashtbl.create 64;
     next_pid = 0;
     pending = Queue.create ();
@@ -40,6 +90,9 @@ let create ?(enforcing = true) ?audit_capacity () =
     k_tick = 0;
     k_enforcing = enforcing;
     k_principal = Principal.make Principal.Provider "kernel";
+    k_metrics;
+    k_tracer = Tracer.create ();
+    k_meters = make_meters k_metrics;
   }
 
 let enforcing k = k.k_enforcing
@@ -49,7 +102,14 @@ let audit k = k.k_audit
 let tick k = k.k_tick
 let advance_clock k = k.k_tick <- k.k_tick + 1
 let kernel_principal k = k.k_principal
-let record k ~pid event = Audit.record k.k_audit ~tick:k.k_tick ~pid event
+let metrics k = k.k_metrics
+let tracer k = k.k_tracer
+let meters k = k.k_meters
+
+let record k ~pid event =
+  Metrics.inc k.k_meters.audit_events
+    ~labels:[ ("event", Audit.event_kind event) ];
+  Audit.record k.k_audit ~tick:k.k_tick ~pid event
 
 let fresh_pid k =
   k.next_pid <- k.next_pid + 1;
@@ -86,6 +146,7 @@ let spawn k ?parent ~name ~owner ~labels ~caps ~limits body =
       Hashtbl.replace k.procs pid proc;
       Hashtbl.replace k.bodies pid body;
       Queue.add (proc, body) k.pending;
+      Metrics.inc k.k_meters.spawns;
       let actor = match parent with Some p -> p.Proc.pid | None -> 0 in
       record k ~pid:actor (Audit.Spawned { child = pid; name });
       Ok proc
@@ -106,6 +167,8 @@ let run_proc k proc =
           | Quota_kill kind ->
               Proc.kill proc
                 ~reason:("quota: " ^ Resource.kind_to_string kind);
+              Metrics.inc k.k_meters.quota_kills
+                ~labels:[ ("kind", Resource.kind_to_string kind) ];
               record k ~pid:proc.Proc.pid (Audit.Quota_hit kind);
               record k ~pid:proc.Proc.pid
                 (Audit.Killed
@@ -185,7 +248,11 @@ let invoke_gate k ~caller ~name ~arg =
           Hashtbl.replace k.procs pid proc;
           let body ctx = gate.g_entry ctx arg in
           Hashtbl.replace k.bodies pid body;
+          Metrics.inc k.k_meters.gate_invocations ~labels:[ ("gate", name) ];
           record k ~pid:caller.Proc.pid
             (Audit.Gate_invoked { gate = name; child = pid });
-          run_proc k proc;
+          Tracer.with_span k.k_tracer
+            ~clock:(fun () -> k.k_tick)
+            ("gate:" ^ name)
+            (fun () -> run_proc k proc);
           Ok proc)

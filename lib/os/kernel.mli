@@ -29,13 +29,47 @@ exception Quota_kill of Resource.kind
 (** Raised inside a process body by the syscall layer when a resource
     limit is exceeded; caught by the kernel, which kills the process. *)
 
+val default_audit_capacity : int
+(** 65536. An entry is on the order of 100 bytes, so the default keeps
+    the resident log under ~10 MB while still holding enough history
+    for denial queries over a long trace. Long-running providers that
+    accepted the seed's unbounded default would grow without bound
+    over a soak run; truncation stays observable because sequence
+    numbers keep counting (see {!Audit.create}). *)
+
 val create : ?enforcing:bool -> ?audit_capacity:int -> unit -> t
 (** A fresh kernel with an empty filesystem. [enforcing] (default
     [true]) turns the IFC checks on; with it off the mechanism runs
     but every check passes — this is the baseline arm of the overhead
     benchmark (P1), {e never} a production configuration.
     [audit_capacity] bounds the audit log (see {!Audit.create});
-    unbounded by default. *)
+    defaults to {!default_audit_capacity} so the gateway/kernel wiring
+    is memory-bounded out of the box. *)
+
+(** {1 Telemetry}
+
+    Every kernel carries a {!W5_obs.Metrics.t} registry and a
+    {!W5_obs.Tracer.t}: the platform-provided visibility of §3.5,
+    extended from the audit log to counters and request traces. All
+    recorded facts are data-free (op names, decisions, label sizes,
+    tick deltas) — never user bytes. *)
+
+type meters = {
+  syscalls : W5_obs.Metrics.metric;            (** [{op}] *)
+  flow_checks : W5_obs.Metrics.metric;         (** [{op, decision}] *)
+  flow_check_src_size : W5_obs.Metrics.metric; (** histogram, label sizes *)
+  quota_units : W5_obs.Metrics.metric;         (** [{kind}] *)
+  quota_kills : W5_obs.Metrics.metric;         (** [{kind}] *)
+  spawns : W5_obs.Metrics.metric;
+  gate_invocations : W5_obs.Metrics.metric;    (** [{gate}] *)
+  audit_events : W5_obs.Metrics.metric;        (** [{event}] *)
+}
+(** Pre-registered handles for the hot paths, so instrumentation does
+    not pay a by-name lookup per syscall. *)
+
+val metrics : t -> W5_obs.Metrics.t
+val tracer : t -> W5_obs.Tracer.t
+val meters : t -> meters
 
 val enforcing : t -> bool
 val set_enforcing : t -> bool -> unit

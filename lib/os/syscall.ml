@@ -1,4 +1,5 @@
 open W5_difc
+open W5_obs
 
 type 'a r = ('a, Os_error.t) result
 
@@ -11,13 +12,30 @@ let usage (ctx : Kernel.ctx) kind = Resource.used ctx.proc.Proc.usage kind
 (* Every syscall passes through [charge]; exceeding a limit raises and
    the kernel kills the process, so quotas cannot be probed safely. *)
 let charge (ctx : Kernel.ctx) kind n =
+  Metrics.inc (Kernel.meters ctx.kernel).Kernel.quota_units
+    ~labels:[ ("kind", Resource.kind_to_string kind) ]
+    ~by:n;
   match Resource.charge ctx.proc.Proc.usage ctx.proc.Proc.limits kind n with
   | Ok () -> ()
   | Error k -> raise (Kernel.Quota_kill k)
 
-let tick ctx =
+(* Syscall entry: one CPU unit, one clock tick, one telemetry count.
+   [op] is the syscall name — a closed, low-cardinality set. *)
+let enter ctx op =
   charge ctx Resource.Cpu 1;
-  Kernel.advance_clock ctx.Kernel.kernel
+  Kernel.advance_clock ctx.Kernel.kernel;
+  Metrics.inc (Kernel.meters ctx.Kernel.kernel).Kernel.syscalls
+    ~labels:[ ("op", op) ]
+
+(* Bracket a syscall body in a trace span (a no-op unless the kernel's
+   tracer is enabled, e.g. under `w5 stats --trace`). *)
+let traced ctx op f =
+  let kernel = ctx.Kernel.kernel in
+  let tracer = Kernel.tracer kernel in
+  if not (Tracer.enabled tracer) then f ()
+  else
+    Tracer.with_span tracer ~clock:(fun () -> Kernel.tick kernel)
+      ("sys." ^ op) f
 
 let enforcing (ctx : Kernel.ctx) = Kernel.enforcing ctx.kernel
 
@@ -25,12 +43,29 @@ let audit_flow ctx ~op ~src ~dst decision =
   Kernel.record ctx.Kernel.kernel ~pid:(pid ctx)
     (Audit.Flow_checked { op; src; dst; decision })
 
+let decision_label = function Ok () -> "allow" | Error _ -> "deny"
+
+let meter_flow ctx ~op ~(src : Flow.labels) decision =
+  let meters = Kernel.meters ctx.Kernel.kernel in
+  Metrics.inc meters.Kernel.flow_checks
+    ~labels:[ ("op", op); ("decision", decision_label decision) ];
+  Metrics.observe meters.Kernel.flow_check_src_size
+    (Label.cardinal src.Flow.secrecy);
+  let tracer = Kernel.tracer ctx.Kernel.kernel in
+  if Tracer.enabled tracer then
+    Tracer.event tracer ~tick:(Kernel.tick ctx.Kernel.kernel) "flow.check"
+      ~fields:
+        [ ("op", op);
+          ("decision", decision_label decision);
+          ("src_secrecy", string_of_int (Label.cardinal src.Flow.secrecy)) ]
+
 (* Flow check helper: returns [Ok ()] when enforcement is off, records
    the decision in the audit log either way. *)
 let check_flow ctx ~op ~src ~dst =
   if not (enforcing ctx) then Ok ()
   else
     let decision = Flow.check_flow src dst in
+    meter_flow ctx ~op ~src decision;
     (match decision with
     | Ok () -> ()
     | Error _ -> audit_flow ctx ~op ~src ~dst decision);
@@ -53,10 +88,13 @@ let absorb ctx (incoming : Flow.labels) =
         incoming.Flow.secrecy
   in
   if Label.is_empty blocked then begin
+    if enforcing ctx then meter_flow ctx ~op:"absorb" ~src:incoming (Ok ());
     proc.Proc.labels <- Flow.join proc.Proc.labels incoming;
     Ok ()
   end
   else begin
+    meter_flow ctx ~op:"absorb" ~src:incoming
+      (Error (Flow.Unauthorized_add blocked));
     audit_flow ctx ~op:"absorb" ~src:incoming ~dst:proc.Proc.labels
       (Error (Flow.Unauthorized_add blocked));
     Error (Os_error.Denied (Flow.Unauthorized_add blocked))
@@ -65,7 +103,7 @@ let absorb ctx (incoming : Flow.labels) =
 (* {1 Tags and labels} *)
 
 let create_tag ctx ?name ?restricted kind =
-  tick ctx;
+  enter ctx "tag.create";
   let tag = Tag.fresh ?name ?restricted kind in
   ctx.Kernel.proc.Proc.caps <-
     Capability.Set.grant_dual tag ctx.Kernel.proc.Proc.caps;
@@ -111,7 +149,7 @@ let check_label_change_conv ~caps ~(old_labels : Flow.labels)
       else Ok ()
 
 let set_labels ctx new_labels =
-  tick ctx;
+  enter ctx "label.set";
   let proc = ctx.Kernel.proc in
   let decision =
     if not (enforcing ctx) then Ok ()
@@ -129,7 +167,7 @@ let set_labels ctx new_labels =
       Ok ()
 
 let add_taint ctx taint =
-  tick ctx;
+  enter ctx "label.taint";
   (* self-tainting only raises secrecy; it says nothing about (and
      must not erode) the caller's integrity *)
   absorb ctx
@@ -137,7 +175,7 @@ let add_taint ctx taint =
        ~integrity:ctx.Kernel.proc.Proc.labels.Flow.integrity ())
 
 let declassify_self ctx tag =
-  tick ctx;
+  enter ctx "label.declassify";
   let proc = ctx.Kernel.proc in
   if enforcing ctx && not (Capability.Set.can_drop tag proc.Proc.caps) then
     Error (Os_error.Denied (Flow.Unauthorized_drop (Label.singleton tag)))
@@ -153,7 +191,7 @@ let declassify_self ctx tag =
   end
 
 let endorse_self ctx tag =
-  tick ctx;
+  enter ctx "label.endorse";
   let proc = ctx.Kernel.proc in
   if enforcing ctx && not (Capability.Set.can_add tag proc.Proc.caps) then
     Error (Os_error.Denied (Flow.Unauthorized_add (Label.singleton tag)))
@@ -167,7 +205,7 @@ let endorse_self ctx tag =
   end
 
 let drop_integrity ctx tag =
-  tick ctx;
+  enter ctx "label.drop_integrity";
   let proc = ctx.Kernel.proc in
   proc.Proc.labels <-
     {
@@ -177,7 +215,7 @@ let drop_integrity ctx tag =
   Ok ()
 
 let grant_cap ctx ~to_ cap =
-  tick ctx;
+  enter ctx "cap.grant";
   let proc = ctx.Kernel.proc in
   if enforcing ctx && not (Capability.Set.mem cap proc.Proc.caps) then
     Error (Os_error.Permission "grant_cap: capability not owned")
@@ -197,7 +235,7 @@ let grant_cap ctx ~to_ cap =
             Ok ())
 
 let drop_cap ctx cap =
-  tick ctx;
+  enter ctx "cap.drop";
   let proc = ctx.Kernel.proc in
   proc.Proc.caps <- Capability.Set.remove cap proc.Proc.caps;
   Ok ()
@@ -207,7 +245,7 @@ let drop_cap ctx cap =
 let fs ctx = Kernel.fs ctx.Kernel.kernel
 
 let mkdir ctx path ~labels =
-  tick ctx;
+  enter ctx "fs.mkdir";
   charge ctx Resource.Files 1;
   let proc = ctx.Kernel.proc in
   match Fs.parent_labels (fs ctx) path with
@@ -226,7 +264,8 @@ let mkdir ctx path ~labels =
           | Ok () -> Fs.mkdir (fs ctx) path ~labels))
 
 let create_file ctx path ~labels ~data =
-  tick ctx;
+  traced ctx "fs.create" @@ fun () ->
+  enter ctx "fs.create";
   charge ctx Resource.Files 1;
   charge ctx Resource.Disk (String.length data);
   let proc = ctx.Kernel.proc in
@@ -246,7 +285,8 @@ let create_file ctx path ~labels ~data =
           | Ok () -> Fs.create_file (fs ctx) path ~labels ~data))
 
 let read_file ctx path =
-  tick ctx;
+  traced ctx "fs.read" @@ fun () ->
+  enter ctx "fs.read";
   let proc = ctx.Kernel.proc in
   match Fs.read (fs ctx) path with
   | Error _ as e -> e
@@ -275,7 +315,8 @@ let read_file ctx path =
               Ok data))
 
 let read_file_taint ctx path =
-  tick ctx;
+  traced ctx "fs.read_taint" @@ fun () ->
+  enter ctx "fs.read_taint";
   match Fs.read (fs ctx) path with
   | Error _ as e -> e
   | Ok (data, labels) -> (
@@ -305,21 +346,23 @@ let write_check ctx ~op path =
   | Ok st -> check_flow ctx ~op ~src:proc.Proc.labels ~dst:st.Fs.labels
 
 let write_file ctx path ~data =
-  tick ctx;
+  traced ctx "fs.write" @@ fun () ->
+  enter ctx "fs.write";
   charge ctx Resource.Disk (String.length data);
   match write_check ctx ~op:"fs.write" path with
   | Error _ as e -> e
   | Ok () -> Fs.write (fs ctx) path ~data
 
 let append_file ctx path ~data =
-  tick ctx;
+  enter ctx "fs.append";
   charge ctx Resource.Disk (String.length data);
   match write_check ctx ~op:"fs.append" path with
   | Error _ as e -> e
   | Ok () -> Fs.append (fs ctx) path ~data
 
 let unlink ctx path =
-  tick ctx;
+  traced ctx "fs.unlink" @@ fun () ->
+  enter ctx "fs.unlink";
   let proc = ctx.Kernel.proc in
   match Fs.parent_labels (fs ctx) path with
   | Error _ as e -> e
@@ -336,7 +379,7 @@ let unlink ctx path =
           | Ok () -> Fs.unlink (fs ctx) path))
 
 let rename ctx ~src ~dst =
-  tick ctx;
+  enter ctx "fs.rename";
   let proc = ctx.Kernel.proc in
   let parent_check label path =
     match Fs.parent_labels (fs ctx) path with
@@ -354,7 +397,7 @@ let rename ctx ~src ~dst =
           | Ok () -> Fs.rename (fs ctx) ~src ~dst))
 
 let set_file_labels ctx path ~labels =
-  tick ctx;
+  enter ctx "fs.relabel";
   let proc = ctx.Kernel.proc in
   match Fs.stat (fs ctx) path with
   | Error _ as e -> e
@@ -382,7 +425,8 @@ let set_file_labels ctx path ~labels =
           | Ok () -> Fs.set_labels (fs ctx) path ~labels))
 
 let readdir ctx path =
-  tick ctx;
+  traced ctx "fs.readdir" @@ fun () ->
+  enter ctx "fs.readdir";
   let proc = ctx.Kernel.proc in
   match Fs.readdir (fs ctx) path with
   | Error _ as e -> e
@@ -395,17 +439,21 @@ let readdir ctx path =
       | Ok () -> Ok names)
 
 let stat ctx path =
-  tick ctx;
+  enter ctx "fs.stat";
   Fs.stat (fs ctx) path
 
 let file_exists ctx path =
+  (* probe only: charged but does not advance the logical clock *)
   charge ctx Resource.Cpu 1;
+  Metrics.inc (Kernel.meters ctx.Kernel.kernel).Kernel.syscalls
+    ~labels:[ ("op", "fs.exists") ];
   Fs.exists (fs ctx) path
 
 (* {1 IPC} *)
 
 let send ctx ~to_ ?(grant = Capability.Set.empty) ?(use_caps = false) body =
-  tick ctx;
+  traced ctx "ipc.send" @@ fun () ->
+  enter ctx "ipc.send";
   charge ctx Resource.Messages 1;
   let proc = ctx.Kernel.proc in
   if
@@ -457,7 +505,8 @@ let send ctx ~to_ ?(grant = Capability.Set.empty) ?(use_caps = false) body =
             Ok ())
 
 let recv ctx =
-  tick ctx;
+  traced ctx "ipc.recv" @@ fun () ->
+  enter ctx "ipc.recv";
   let proc = ctx.Kernel.proc in
   match Queue.take_opt proc.Proc.mailbox with
   | None -> Ok None
@@ -475,14 +524,15 @@ let recv ctx =
 
 let spawn ctx ~name ?labels ?(caps = Capability.Set.empty)
     ?(limits = Resource.default_app_limits) body =
-  tick ctx;
+  enter ctx "proc.spawn";
   let proc = ctx.Kernel.proc in
   let labels = Option.value labels ~default:proc.Proc.labels in
   Kernel.spawn ctx.Kernel.kernel ~parent:proc ~name ~owner:proc.Proc.owner
     ~labels ~caps ~limits body
 
 let invoke_gate ctx name ~arg =
-  tick ctx;
+  traced ctx "gate.invoke" @@ fun () ->
+  enter ctx "gate.invoke";
   let proc = ctx.Kernel.proc in
   match Kernel.invoke_gate ctx.Kernel.kernel ~caller:proc ~name ~arg with
   | Error _ as e -> e
@@ -498,7 +548,7 @@ let invoke_gate ctx name ~arg =
               Ok (Some (data, labels))))
 
 let respond ctx data =
-  tick ctx;
+  enter ctx "proc.respond";
   charge ctx Resource.Memory (String.length data);
   let proc = ctx.Kernel.proc in
   proc.Proc.response <- Some (data, proc.Proc.labels);
@@ -507,9 +557,11 @@ let respond ctx data =
 let consume ctx ~cpu =
   charge ctx Resource.Cpu cpu;
   Kernel.advance_clock ctx.Kernel.kernel;
+  Metrics.inc (Kernel.meters ctx.Kernel.kernel).Kernel.syscalls
+    ~labels:[ ("op", "proc.consume") ];
   Ok ()
 
 let debug_note ctx note =
-  tick ctx;
+  enter ctx "debug.note";
   Kernel.record ctx.Kernel.kernel ~pid:(pid ctx) (Audit.App_note note);
   Ok ()

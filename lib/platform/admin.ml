@@ -25,7 +25,6 @@ let collect platform =
   let kernel = Platform.kernel platform in
   let registry = Platform.registry platform in
   let log = Kernel.audit kernel in
-  let entries = Audit.entries log in
   (* map still-live pids to the app that owns them: app processes are
      named by their app id at spawn *)
   let pid_app = Hashtbl.create 64 in
@@ -42,8 +41,10 @@ let collect platform =
   in
   let total_denials = ref 0 and export_denials = ref 0 in
   let total_spawned = ref 0 in
-  List.iter
-    (fun (entry : Audit.entry) ->
+  (* Audit.iter walks oldest-first without materializing the entry
+     list — the log can hold tens of thousands of records. *)
+  Audit.iter log
+    ~f:(fun (entry : Audit.entry) ->
       match entry.Audit.event with
       | Audit.Spawned _ -> incr total_spawned
       | Audit.Flow_checked { decision = Error _; _ }
@@ -62,8 +63,7 @@ let collect platform =
       | Audit.Flow_checked _ | Audit.Label_changed _
       | Audit.Export_attempted _ | Audit.Declassified _ | Audit.Gate_invoked _
       | Audit.Killed _ | Audit.App_note _ ->
-          ())
-    entries;
+          ());
   let per_app =
     List.map
       (fun app_id ->

@@ -424,19 +424,7 @@ let throttled platform ~viewer request =
         (Rate_limit.allow limiter ~key
            ~now:(Kernel.tick (Platform.kernel platform)))
 
-let handler platform request =
-  let viewer = viewer_of platform request in
-  (* Virtual hosts: a Host header naming a registered vanity host
-     routes straight to its application, whatever the path. *)
-  let dns_route =
-    match (Platform.dns platform, Headers.get request.Request.headers "host")
-    with
-    | Some dns, Some host -> (
-        match Dns.resolve dns ~host with
-        | Some (Dns.App app_id) -> Some app_id
-        | Some Dns.Front_end | Some (Dns.Cname _) | None -> None)
-    | _ -> None
-  in
+let route_request platform request ~viewer ~dns_route =
   match dns_route with
   | Some _ when throttled platform ~viewer request ->
       Response.too_many_requests "rate limit exceeded"
@@ -492,3 +480,56 @@ let handler platform request =
             ?version:(Request.param request "version")
             request)
   | _ -> Response.not_found request.Request.uri.Uri.path
+
+(* The telemetry route label: the application id or the front-end page
+   name — a closed set bounded by the registry, never a raw path (raw
+   paths could smuggle user-chosen bytes into series names; the
+   registry cardinality cap is the backstop). *)
+let route_label request ~dns_route =
+  match dns_route with
+  | Some app_id -> "vhost:" ^ app_id
+  | None -> (
+      match request.Request.uri.Uri.segments with
+      | [] -> "home"
+      | "app" :: dev :: name :: _ -> "app:" ^ dev ^ "/" ^ name
+      | segment :: _ -> segment)
+
+let handler platform request =
+  let kernel = Platform.kernel platform in
+  let metrics = W5_os.Kernel.metrics kernel in
+  let tracer = W5_os.Kernel.tracer kernel in
+  let viewer = viewer_of platform request in
+  (* Virtual hosts: a Host header naming a registered vanity host
+     routes straight to its application, whatever the path. *)
+  let dns_route =
+    match (Platform.dns platform, Headers.get request.Request.headers "host")
+    with
+    | Some dns, Some host -> (
+        match Dns.resolve dns ~host with
+        | Some (Dns.App app_id) -> Some app_id
+        | Some Dns.Front_end | Some (Dns.Cname _) | None -> None)
+    | _ -> None
+  in
+  let route = route_label request ~dns_route in
+  let t0 = Kernel.tick kernel in
+  W5_obs.Tracer.start_span tracer ~tick:t0 ("gateway:" ^ route);
+  let response =
+    match route_request platform request ~viewer ~dns_route with
+    | response -> response
+    | exception exn ->
+        W5_obs.Tracer.end_span tracer ~tick:(Kernel.tick kernel);
+        raise exn
+  in
+  let status = string_of_int (Response.status_code response.Response.status) in
+  W5_obs.Tracer.annotate tracer [ ("status", status) ];
+  W5_obs.Tracer.end_span tracer ~tick:(Kernel.tick kernel);
+  W5_obs.Metrics.inc
+    (W5_obs.Metrics.counter metrics "w5_gateway_requests_total"
+       ~help:"HTTP requests by route and status")
+    ~labels:[ ("route", route); ("status", status) ];
+  W5_obs.Metrics.observe
+    (W5_obs.Metrics.histogram metrics "w5_gateway_request_ticks"
+       ~help:"Logical ticks consumed per request, by route")
+    ~labels:[ ("route", route) ]
+    (Kernel.tick kernel - t0);
+  response

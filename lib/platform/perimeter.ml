@@ -62,6 +62,20 @@ let export platform ~viewer ~data ~labels =
     | None -> "anonymous client"
   in
   let finish decision =
+    let verdict = match decision with Ok () -> "allow" | Error _ -> "deny" in
+    W5_obs.Metrics.inc
+      (W5_obs.Metrics.counter
+         (Kernel.metrics kernel)
+         "w5_exports_total"
+         ~help:"Perimeter export attempts by decision")
+      ~labels:[ ("decision", verdict) ];
+    W5_obs.Tracer.event (Kernel.tracer kernel) ~tick:(Kernel.tick kernel)
+      ~fields:
+        [
+          ("decision", verdict);
+          ("secrecy", string_of_int (Label.cardinal labels.Flow.secrecy));
+        ]
+      "perimeter.export";
     Kernel.record kernel ~pid:0
       (Audit.Export_attempted { destination; labels; decision })
   in

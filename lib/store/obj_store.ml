@@ -14,6 +14,17 @@ let init ctx =
 let sanitize name =
   String.map (fun c -> if c = '/' then '_' else c) name
 
+(* Store-level op counts ride the owning kernel's registry. Only the
+   op name is recorded — never collection or object ids, which are
+   application-chosen strings. *)
+let meter ctx op =
+  W5_obs.Metrics.inc
+    (W5_obs.Metrics.counter
+       (Kernel.metrics ctx.Kernel.kernel)
+       "w5_store_ops_total"
+       ~help:"Object store operations by kind")
+    ~labels:[ ("op", op) ]
+
 let collection_path collection = root ^ "/" ^ sanitize collection
 let object_path collection id = collection_path collection ^ "/" ^ sanitize id
 
@@ -24,12 +35,14 @@ let create_collection ctx collection ~labels =
   | Error _ as e -> e
 
 let put ctx ~collection ~id ~labels record =
+  meter ctx "put";
   let path = object_path collection id in
   let data = Record.encode record in
   if Syscall.file_exists ctx path then Syscall.write_file ctx path ~data
   else Syscall.create_file ctx path ~labels ~data
 
 let get ctx ?(taint = false) ~collection ~id () =
+  meter ctx "get";
   let path = object_path collection id in
   let read = if taint then Syscall.read_file_taint else Syscall.read_file in
   match read ctx path with
@@ -38,11 +51,15 @@ let get ctx ?(taint = false) ~collection ~id () =
       Result.map_error (fun msg -> Os_error.Invalid msg) (Record.decode data)
 
 let delete ctx ~collection ~id =
+  meter ctx "delete";
   Syscall.unlink ctx (object_path collection id)
 
-let list ctx ~collection = Syscall.readdir ctx (collection_path collection)
+let list ctx ~collection =
+  meter ctx "list";
+  Syscall.readdir ctx (collection_path collection)
 
 let exists ctx ~collection ~id =
+  meter ctx "exists";
   Syscall.file_exists ctx (object_path collection id)
 
 let labels_of ctx ~collection ~id =

@@ -29,10 +29,29 @@ let ( &&& ) p q r = p r && q r
 let ( ||| ) p q r = p r || q r
 let not_ p r = not (p r)
 
+(* Query telemetry records sizes only (rows scanned, rows returned):
+   counts are shaped like label sizes, not like record contents. *)
+let meter_scanned ctx n =
+  W5_obs.Metrics.inc
+    (W5_obs.Metrics.counter
+       (Kernel.metrics ctx.Kernel.kernel)
+       "w5_store_rows_scanned_total"
+       ~help:"Rows visited by store queries")
+    ~by:n
+
+let meter_rows ctx n =
+  W5_obs.Metrics.observe
+    (W5_obs.Metrics.histogram
+       (Kernel.metrics ctx.Kernel.kernel)
+       "w5_store_query_rows"
+       ~help:"Result-set sizes of store queries")
+    n
+
 let scan ctx ~collection ~read ~init ~f =
   match Obj_store.list ctx ~collection with
   | Error _ as e -> e
   | Ok ids ->
+      meter_scanned ctx (List.length ids);
       let step acc id =
         match acc with
         | Error _ as e -> e
@@ -55,7 +74,10 @@ let select ?limit ctx ~collection ~where =
     | Some n -> List.filteri (fun i _ -> i < n) results
   in
   Result.map
-    (fun acc -> truncate (List.rev acc))
+    (fun acc ->
+      let results = truncate (List.rev acc) in
+      meter_rows ctx (List.length results);
+      results)
     (scan ctx ~collection ~read:Syscall.read_file_taint ~init:[]
        ~f:(fun acc id record ->
          if where record then (id, record) :: acc else acc))
@@ -72,7 +94,9 @@ let select_leaky ctx ~collection ~where =
             | Error _ -> acc
             | Ok record -> if where record then (id, record) :: acc else acc)
       in
-      Ok (List.rev (List.fold_left step [] ids))
+      let results = List.rev (List.fold_left step [] ids) in
+      meter_rows ctx (List.length results);
+      Ok results
 
 let count ctx ~collection ~where =
   Result.map List.length (select ctx ~collection ~where)

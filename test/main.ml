@@ -3,6 +3,7 @@ let () =
     [
       ("difc", Test_difc.suite);
       ("os", Test_os.suite);
+      ("obs", Test_obs.suite);
       ("store", Test_store.suite);
       ("http", Test_http.suite);
       ("platform", Test_platform.suite);

@@ -362,6 +362,115 @@ let bench_query =
        query_sizes)
 
 (* ------------------------------------------------------------------ *)
+(* query-index: indexed vs scanning selects                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Collections sized 10..10k where "u" takes n/10 distinct values (so
+   an equality hit returns ~10 rows) and "score" is the row number (so
+   a range query over the top 10 also returns 10). The planner serves
+   both from the index; [~use_index:false] is the scan baseline. *)
+let index_kernel = W5_os.Kernel.create ()
+let index_sizes = [ 10; 100; 1000; 10000 ]
+let index_collection n = Printf.sprintf "qi%d" n
+
+let () =
+  let seed = spawn_on index_kernel "seed" in
+  (match W5_store.Obj_store.init seed with Ok () -> () | Error _ -> assert false);
+  List.iter
+    (fun n ->
+      let collection = index_collection n in
+      (match
+         W5_store.Obj_store.create_collection seed collection
+           ~labels:Flow.bottom
+       with
+      | Ok () -> ()
+      | Error _ -> assert false);
+      W5_store.Index.declare seed ~collection ~field:"u"
+        W5_store.Index.Equality;
+      W5_store.Index.declare seed ~collection ~field:"score"
+        W5_store.Index.Int_order;
+      List.iter
+        (fun i ->
+          match
+            W5_store.Obj_store.put seed ~collection
+              ~id:(Printf.sprintf "r%05d" i)
+              ~labels:Flow.bottom
+              (W5_store.Record.of_fields
+                 [
+                   ("u", Printf.sprintf "u%d" (i mod max 1 (n / 10)));
+                   ("score", string_of_int i);
+                 ])
+          with
+          | Ok () -> ()
+          | Error _ -> assert false)
+        (List.init n Fun.id))
+    index_sizes
+
+let bench_query_index =
+  Test.make_grouped ~name:"query-index"
+    (List.concat_map
+       (fun n ->
+         let collection = index_collection n in
+         let eq = W5_store.Query.field_equals "u" "u1" in
+         let range = W5_store.Query.field_int_at_least "score" (n - 10) in
+         [
+           Test.make
+             ~name:(Printf.sprintf "indexed-eq-%d" n)
+             (staged (fun () ->
+                  W5_store.Query.select (spawn_on index_kernel "q") ~collection
+                    ~where:eq));
+           Test.make
+             ~name:(Printf.sprintf "scan-eq-%d" n)
+             (staged (fun () ->
+                  W5_store.Query.select ~use_index:false
+                    (spawn_on index_kernel "q") ~collection ~where:eq));
+           Test.make
+             ~name:(Printf.sprintf "indexed-range-%d" n)
+             (staged (fun () ->
+                  W5_store.Query.select (spawn_on index_kernel "q") ~collection
+                    ~where:range));
+           Test.make
+             ~name:(Printf.sprintf "scan-range-%d" n)
+             (staged (fun () ->
+                  W5_store.Query.select ~use_index:false
+                    (spawn_on index_kernel "q") ~collection ~where:range));
+         ])
+       index_sizes)
+
+(* The headline number (rows actually visited, not wall time), printed
+   from the counters so BENCH output shows the O(result)-vs-
+   O(collection) gap directly. *)
+let report_rows_scanned () =
+  let metric =
+    W5_obs.Metrics.counter
+      (W5_os.Kernel.metrics index_kernel)
+      "w5_store_rows_scanned_total" ~help:"Rows visited by store queries"
+  in
+  let rows_visited_by f =
+    let before = W5_obs.Metrics.value metric in
+    f ();
+    W5_obs.Metrics.value metric - before
+  in
+  let collection = index_collection 10000 in
+  let where = W5_store.Query.field_equals "u" "u1" in
+  let indexed =
+    rows_visited_by (fun () ->
+        ignore
+          (W5_store.Query.select (spawn_on index_kernel "q") ~collection ~where))
+  in
+  let scanned =
+    rows_visited_by (fun () ->
+        ignore
+          (W5_store.Query.select ~use_index:false
+             (spawn_on index_kernel "q") ~collection ~where))
+  in
+  Printf.printf
+    "\nquery-index rows visited at 10k rows (field_equals, 10 matches):\n";
+  Printf.printf "  indexed: %d   scan: %d   (%.0fx fewer labeled reads)\n"
+    indexed scanned
+    (float_of_int scanned /. float_of_int (max 1 indexed))
+
+(* ------------------------------------------------------------------ *)
 (* pagerank (E5)                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -734,6 +843,7 @@ let groups =
     bench_perimeter;
     bench_declassifier;
     bench_query;
+    bench_query_index;
     bench_pagerank;
     bench_rank_ablation;
     bench_collab;
@@ -746,14 +856,22 @@ let groups =
     bench_filter;
   ]
 
+(* --smoke: one tiny iteration per group, for CI — proves every bench
+   fixture and body still runs, without measuring anything. *)
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
+
 let run_and_analyze test =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instance = Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None
-      ~stabilize:false ()
+    if smoke then
+      Benchmark.cfg ~limit:1 ~quota:(Time.second 0.001) ~kde:None
+        ~stabilize:false ()
+    else
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None
+        ~stabilize:false ()
   in
   let raw = Benchmark.all cfg [ instance ] test in
   Analyze.all ols instance raw
@@ -815,6 +933,10 @@ let () =
     "declassifier/logic-via-gate" "declassifier/logic-inline";
   print_ratio "E8  safe query vs leaky baseline (1000 rows)"
     "query-taint/safe-select-1000" "query-taint/leaky-select-1000";
+  print_ratio "IDX scan vs indexed equality select (10k rows)"
+    "query-index/scan-eq-10000" "query-index/indexed-eq-10000";
+  print_ratio "IDX scan vs indexed range select (10k rows)"
+    "query-index/scan-range-10000" "query-index/indexed-range-10000";
   print_ratio "E5  pagerank scaling (1000 vs 100 nodes)"
     "pagerank/compute-1000" "pagerank/compute-100";
   print_ratio "E5  hits vs pagerank (1000 nodes)" "rank-ablation/hits-1000"
@@ -833,4 +955,5 @@ let () =
   print_ratio "OBS tracing overhead (traced/metered tainting read)"
     "metrics-overhead/read-taint-traced"
     "metrics-overhead/read-taint-metered";
+  report_rows_scanned ();
   Printf.printf "\nbench: done\n"

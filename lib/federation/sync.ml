@@ -177,6 +177,14 @@ let sync_file link ~file =
   let remember () =
     Hashtbl.replace link.seen file (current_clock link ~file)
   in
+  (* Sync writes bypass Obj_store, so any store index over the target
+     path must be told (a no-op for the usual /users/... targets; the
+     fs version stamp would catch it regardless). *)
+  let invalidate_index platform (account : Account.t) =
+    Index.note_external_write
+      (Platform.kernel platform)
+      ~path:(Platform.user_file account.Account.user file)
+  in
   let copy ~src_platform ~src_account ~dst_platform ~dst_account =
     match export_record src_platform src_account ~file with
     | Error e -> Error (Os_error.to_string e)
@@ -206,6 +214,7 @@ let sync_file link ~file =
               with
               | Error e -> Error (Os_error.to_string e)
               | Ok () ->
+                  invalidate_index dst_platform dst_account;
                   remember ();
                   Ok `Copied))
   in
@@ -216,6 +225,7 @@ let sync_file link ~file =
   let delete_on platform account =
     match Platform.delete_user_file platform account ~file with
     | Ok () ->
+        invalidate_index platform account;
         remember ();
         Ok ()
     | Error e -> Error (Os_error.to_string e)
@@ -292,7 +302,9 @@ let sync_file link ~file =
                 match ensure_parent_dir platform account ~file with
                 | Error _ as e -> e
                 | Ok () ->
-                    Platform.write_user_record platform account ~file merged
+                    Result.map
+                      (fun () -> invalidate_index platform account)
+                      (Platform.write_user_record platform account ~file merged)
               in
               (match (write a.platform account_a, write b.platform account_b) with
               | Ok (), Ok () ->

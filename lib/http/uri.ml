@@ -11,14 +11,17 @@ let hex_val c =
   | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
   | _ -> None
 
-let percent_decode s =
+(* ['+'] means space only in the form/query encoding; in a path
+   segment it is a literal plus (["/file/a+b"] names [a+b]). Only
+   {!parse_query} opts into the form rule. *)
+let decode ~form_encoded s =
   let buf = Buffer.create (String.length s) in
   let n = String.length s in
   let rec go i =
     if i >= n then ()
     else
       match s.[i] with
-      | '+' ->
+      | '+' when form_encoded ->
           Buffer.add_char buf ' ';
           go (i + 1)
       | '%' when i + 2 < n -> (
@@ -36,6 +39,8 @@ let percent_decode s =
   go 0;
   Buffer.contents buf
 
+let percent_decode s = decode ~form_encoded:false s
+
 let unreserved c =
   match c with
   | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | '~' | '/' -> true
@@ -51,6 +56,7 @@ let percent_encode s =
   Buffer.contents buf
 
 let parse_query qs =
+  let decode = decode ~form_encoded:true in
   if qs = "" then []
   else
     String.split_on_char '&' qs
@@ -58,11 +64,11 @@ let parse_query qs =
            if pair = "" then None
            else
              match String.index_opt pair '=' with
-             | None -> Some (percent_decode pair, "")
+             | None -> Some (decode pair, "")
              | Some i ->
                  Some
-                   ( percent_decode (String.sub pair 0 i),
-                     percent_decode
+                   ( decode (String.sub pair 0 i),
+                     decode
                        (String.sub pair (i + 1) (String.length pair - i - 1))
                    ))
 

@@ -2,7 +2,9 @@
 
     Supports the subset the platform needs: absolute-path references
     with optional query strings, e.g. ["/devA/crop?photo=p1&size=2"].
-    Percent-decoding covers [%XX] escapes and ['+'] for space. *)
+    Percent-decoding covers [%XX] escapes; ['+'] decodes to space
+    only in query strings (the form encoding), never in path
+    segments — ["/file/a+b"] names [a+b]. *)
 
 type t = {
   path : string;           (** normalized, always starts with ["/"] *)
@@ -14,6 +16,8 @@ val parse : string -> t
 (** Never fails: malformed escapes are kept literally. *)
 
 val percent_decode : string -> string
+(** Decodes [%XX] escapes only; ['+'] stays literal (path rule). *)
+
 val percent_encode : string -> string
 val query_get : t -> string -> string option
 val with_query : string -> (string * string) list -> string

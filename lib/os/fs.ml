@@ -23,6 +23,7 @@ and dir = {
 type t = {
   root : dir;
   mutable file_count : int;
+  mutable generation : int;
 }
 
 type stat = {
@@ -36,6 +37,7 @@ let create ?(root_labels = Flow.bottom) () =
   {
     root = { entries = Hashtbl.create 64; d_labels = root_labels; d_version = 0 };
     file_count = 0;
+    generation = 0;
   }
 
 (* Path handling: "/a/b/c" -> ["a"; "b"; "c"]; empty components are
@@ -125,6 +127,15 @@ let read fs path =
   | Ok (Dir _) -> Error (Os_error.Is_a_directory path)
   | Ok (File f) -> Ok (f.data, f.f_labels)
 
+(* Content writes also bump the parent directory's version: a dir's
+   d_version thus covers its whole set of immediate children, so
+   observers (e.g. the store's secondary indexes) can detect any
+   mutation under a directory from a single stat. *)
+let bump_parent fs path =
+  match lookup_parent fs path with
+  | Ok (parent, _) -> parent.d_version <- parent.d_version + 1
+  | Error _ -> fs.root.d_version <- fs.root.d_version + 1
+
 let write fs path ~data =
   match lookup fs path with
   | Error e -> Error (fs_error path e)
@@ -132,6 +143,7 @@ let write fs path ~data =
   | Ok (File f) ->
       f.data <- data;
       f.f_version <- f.f_version + 1;
+      bump_parent fs path;
       Ok ()
 
 let append fs path ~data =
@@ -141,6 +153,7 @@ let append fs path ~data =
   | Ok (File f) ->
       f.data <- f.data ^ data;
       f.f_version <- f.f_version + 1;
+      bump_parent fs path;
       Ok ()
 
 let unlink fs path =
@@ -223,6 +236,7 @@ let set_labels fs path ~labels =
   | Ok (File f) ->
       f.f_labels <- labels;
       f.f_version <- f.f_version + 1;
+      bump_parent fs path;
       Ok ()
   | Ok (Dir d) ->
       d.d_labels <- labels;
@@ -253,6 +267,7 @@ let path_taint fs path =
   walk fs.root fs.root.d_labels.Flow.secrecy comps
 
 let total_files fs = fs.file_count
+let generation fs = fs.generation
 
 (* ---- snapshot / restore ----
    Line-oriented image; names and file data are hex-encoded so the
@@ -395,6 +410,10 @@ let restore_into fs image =
       Hashtbl.iter (Hashtbl.replace fs.root.entries) d.entries;
       fs.root.d_labels <- d.d_labels;
       fs.root.d_version <- d.d_version;
+      (* A restore replaces arbitrary subtrees without touching their
+         version counters, so derived caches keyed on (generation,
+         version) must be told the whole namespace changed. *)
+      fs.generation <- fs.generation + 1;
       Ok ()
   | Ok _ ->
       fs.file_count <- saved_count;

@@ -22,6 +22,9 @@ type stat = {
   size : int;          (** bytes for files, entry count for dirs *)
   version : int;       (** bumped on every write / entry change *)
 }
+(** A directory's [version] is bumped when an entry is added, removed
+    or renamed, and also when an immediate child file's contents or
+    labels change — so it covers the whole set of direct children. *)
 
 val create : ?root_labels:Flow.labels -> unit -> t
 
@@ -55,6 +58,11 @@ val path_taint : t -> string -> (Flow.labels, Os_error.t) result
     a successful lookup. *)
 
 val total_files : t -> int
+
+val generation : t -> int
+(** Bumped whenever the namespace changes out from under version
+    counters (today: a successful {!restore_into}). Caches keyed on
+    [(generation, dir version)] stay sound across restores. *)
 
 val snapshot : t -> string
 (** Serialize the whole tree — data, labels (by tag identity) and

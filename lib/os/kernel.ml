@@ -19,6 +19,7 @@ and meters = {
 }
 
 and t = {
+  k_id : int;
   k_fs : Fs.t;
   k_audit : Audit.log;
   procs : (int, Proc.t) Hashtbl.t;
@@ -77,9 +78,16 @@ let make_meters m =
         ~help:"Audit log records by event kind";
   }
 
+(* Kernels are per-provider singletons; a monotone id lets global
+   side tables (e.g. the store's index registries) key per kernel
+   without keeping the kernel itself alive in a map key. *)
+let next_kernel_id = ref 0
+
 let create ?(enforcing = true) ?(audit_capacity = default_audit_capacity) () =
   let k_metrics = Metrics.create () in
+  incr next_kernel_id;
   {
+    k_id = !next_kernel_id;
     k_fs = Fs.create ();
     k_audit = Audit.create ~capacity:audit_capacity ();
     procs = Hashtbl.create 64;
@@ -95,6 +103,7 @@ let create ?(enforcing = true) ?(audit_capacity = default_audit_capacity) () =
     k_meters = make_meters k_metrics;
   }
 
+let id k = k.k_id
 let enforcing k = k.k_enforcing
 let set_enforcing k b = k.k_enforcing <- b
 let fs k = k.k_fs

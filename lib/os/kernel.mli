@@ -71,6 +71,10 @@ val metrics : t -> W5_obs.Metrics.t
 val tracer : t -> W5_obs.Tracer.t
 val meters : t -> meters
 
+val id : t -> int
+(** A process-wide unique id for this kernel instance, for keying
+    per-kernel side tables (e.g. the store's secondary indexes). *)
+
 val enforcing : t -> bool
 val set_enforcing : t -> bool -> unit
 val fs : t -> Fs.t

@@ -102,6 +102,10 @@ let absorb ctx (incoming : Flow.labels) =
 
 (* {1 Tags and labels} *)
 
+let absorb_labels ctx incoming =
+  enter ctx "label.absorb";
+  absorb ctx incoming
+
 let create_tag ctx ?name ?restricted kind =
   enter ctx "tag.create";
   let tag = Tag.fresh ?name ?restricted kind in

@@ -46,6 +46,13 @@ val set_labels : Kernel.ctx -> Flow.labels -> unit r
 val add_taint : Kernel.ctx -> Label.t -> unit r
 (** Join tags into the caller's secrecy label (always allowed). *)
 
+val absorb_labels : Kernel.ctx -> Flow.labels -> unit r
+(** Join a full label pair into the caller's (secrecy union, integrity
+    meet) — the same absorption a tainting read performs, without the
+    read. {e Restricted} secrecy tags still require [t+]; the store's
+    query layer uses this to pre-absorb a collection's label summary
+    so indexed and scanning evaluations taint identically. *)
+
 val declassify_self : Kernel.ctx -> Tag.t -> unit r
 (** Drop one secrecy tag from the caller's label; requires [t-]. *)
 

@@ -3,16 +3,13 @@ open W5_os
 
 type id = string
 
-let root = "/store"
+let root = Store_path.root
 
 let init ctx =
   match Syscall.mkdir ctx root ~labels:Flow.bottom with
   | Ok () -> Ok ()
   | Error (Os_error.Already_exists _) -> Ok ()
   | Error _ as e -> e
-
-let sanitize name =
-  String.map (fun c -> if c = '/' then '_' else c) name
 
 (* Store-level op counts ride the owning kernel's registry. Only the
    op name is recorded — never collection or object ids, which are
@@ -25,8 +22,8 @@ let meter ctx op =
        ~help:"Object store operations by kind")
     ~labels:[ ("op", op) ]
 
-let collection_path collection = root ^ "/" ^ sanitize collection
-let object_path collection id = collection_path collection ^ "/" ^ sanitize id
+let collection_path = Store_path.collection_path
+let object_path = Store_path.object_path
 
 let create_collection ctx collection ~labels =
   match Syscall.mkdir ctx (collection_path collection) ~labels with
@@ -36,10 +33,18 @@ let create_collection ctx collection ~labels =
 
 let put ctx ~collection ~id ~labels record =
   meter ctx "put";
+  let kernel = ctx.Kernel.kernel in
   let path = object_path collection id in
   let data = Record.encode record in
-  if Syscall.file_exists ctx path then Syscall.write_file ctx path ~data
-  else Syscall.create_file ctx path ~labels ~data
+  let fresh = Index.before_mutate kernel ~collection in
+  let result =
+    if Syscall.file_exists ctx path then Syscall.write_file ctx path ~data
+    else Syscall.create_file ctx path ~labels ~data
+  in
+  (match result with
+  | Ok () -> Index.note_put kernel ~fresh ~collection ~id
+  | Error _ -> ());
+  result
 
 let get ctx ?(taint = false) ~collection ~id () =
   meter ctx "get";
@@ -52,11 +57,22 @@ let get ctx ?(taint = false) ~collection ~id () =
 
 let delete ctx ~collection ~id =
   meter ctx "delete";
-  Syscall.unlink ctx (object_path collection id)
+  let kernel = ctx.Kernel.kernel in
+  let fresh = Index.before_mutate kernel ~collection in
+  let result = Syscall.unlink ctx (object_path collection id) in
+  (match result with
+  | Ok () -> Index.note_delete kernel ~fresh ~collection ~id
+  | Error _ -> ());
+  result
 
 let list ctx ~collection =
   meter ctx "list";
-  Syscall.readdir ctx (collection_path collection)
+  (* readdir yields on-disk (escaped) names; callers work in logical
+     ids, which [object_path] re-escapes on the way back down. *)
+  Result.map
+    (fun names ->
+      List.sort String.compare (List.map Store_path.unsanitize names))
+    (Syscall.readdir ctx (collection_path collection))
 
 let exists ctx ~collection ~id =
   meter ctx "exists";

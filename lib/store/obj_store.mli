@@ -24,6 +24,9 @@ val init : Kernel.ctx -> (unit, Os_error.t) result
 
 val collection_path : string -> string
 val object_path : string -> id -> string
+(** Collection and object names are escaped injectively on the way to
+    the filesystem ([_] → [__], [/] → [_s]), so distinct logical names
+    can never collide on disk; {!list} undoes the escaping. *)
 
 val create_collection :
   Kernel.ctx -> string -> labels:Flow.labels -> (unit, Os_error.t) result

@@ -1,33 +1,70 @@
 open W5_os
 
 type id = string
-type predicate = Record.t -> bool
 
-let always _ = true
+(* Predicates are reified so the planner can look inside them; [eval]
+   gives them back their old meaning as functions. *)
+type predicate =
+  | Always
+  | Field_equals of string * string
+  | Field_contains of string * string
+  | Field_int_at_least of string * int
+  | Has_field of string
+  | And of predicate * predicate
+  | Or of predicate * predicate
+  | Not of predicate
+  | Custom of (Record.t -> bool)
 
-let field_equals key value r = Record.get r key = Some value
+let always = Always
+let field_equals key value = Field_equals (key, value)
+let field_contains key needle = Field_contains (key, needle)
+let field_int_at_least key threshold = Field_int_at_least (key, threshold)
+let has_field key = Has_field key
+let ( &&& ) p q = And (p, q)
+let ( ||| ) p q = Or (p, q)
+let not_ p = Not p
+let custom f = Custom f
 
-let field_contains key needle r =
-  match Record.get r key with
-  | None -> false
-  | Some v ->
-      let vn = String.length v and nn = String.length needle in
-      if nn = 0 then true
-      else
-        let rec scan i =
-          i + nn <= vn && (String.sub v i nn = needle || scan (i + 1))
-        in
-        scan 0
+(* Iterative substring search: field values can be megabytes, and one
+   stack frame per character overflows. *)
+let contains ~needle haystack =
+  let vn = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i + nn <= vn do
+      if String.sub haystack !i nn = needle then found := true else incr i
+    done;
+    !found
+  end
 
-let field_int_at_least key threshold r =
-  match Record.get_int r key with
-  | None -> false
-  | Some n -> n >= threshold
+let rec eval p r =
+  match p with
+  | Always -> true
+  | Field_equals (key, value) -> Record.get r key = Some value
+  | Field_contains (key, needle) -> (
+      match Record.get r key with
+      | None -> false
+      | Some v -> contains ~needle v)
+  | Field_int_at_least (key, threshold) -> (
+      match Record.get_int r key with
+      | None -> false
+      | Some n -> n >= threshold)
+  | Has_field key -> Record.mem r key
+  | And (p, q) -> eval p r && eval q r
+  | Or (p, q) -> eval p r || eval q r
+  | Not p -> not (eval p r)
+  | Custom f -> f r
 
-let has_field key r = Record.mem r key
-let ( &&& ) p q r = p r && q r
-let ( ||| ) p q r = p r || q r
-let not_ p r = not (p r)
+(* Indexable atoms of the conjunction spine. An atom only has to be
+   {e necessary} for the predicate (candidates form a superset of the
+   matches); disjunctions and negations offer no such atom. *)
+let rec atoms_of = function
+  | Field_equals (key, value) -> [ Index.Eq (key, value) ]
+  | Field_int_at_least (key, threshold) -> [ Index.At_least (key, threshold) ]
+  | And (p, q) -> atoms_of p @ atoms_of q
+  | Always | Field_contains _ | Has_field _ | Or _ | Not _ | Custom _ -> []
 
 (* Query telemetry records sizes only (rows scanned, rows returned):
    counts are shaped like label sizes, not like record contents. *)
@@ -47,40 +84,92 @@ let meter_rows ctx n =
        ~help:"Result-set sizes of store queries")
     n
 
+(* The taint a query imposes must depend only on the collection's
+   contents — never on which rows the planner chose to visit, or the
+   taint itself becomes a channel about the skipped rows. Both the
+   scanning and the indexed paths therefore absorb the collection-wide
+   label summary (the exact join a full tainting scan would reach)
+   before reading anything. Restricted tags deny here, identically in
+   both paths. *)
+let absorb_summary ctx ~collection =
+  match Index.summary ctx.Kernel.kernel ~collection with
+  | None -> Ok ()
+  | Some labels -> Syscall.absorb_labels ctx labels
+
 let scan ctx ~collection ~read ~init ~f =
   match Obj_store.list ctx ~collection with
   | Error _ as e -> e
-  | Ok ids ->
-      meter_scanned ctx (List.length ids);
-      let step acc id =
-        match acc with
-        | Error _ as e -> e
-        | Ok acc -> (
-            match read ctx (Obj_store.object_path collection id) with
-            | Error e -> Error (`Row (id, e))
-            | Ok data -> (
-                match Record.decode data with
-                | Error _ -> Ok acc (* undecodable rows are skipped *)
-                | Ok record -> Ok (f acc id record)))
-      in
-      Result.map_error
-        (fun (`Row (_, e)) -> e)
-        (List.fold_left step (Ok init) ids)
+  | Ok ids -> (
+      match absorb_summary ctx ~collection with
+      | Error _ as e -> e
+      | Ok () ->
+          meter_scanned ctx (List.length ids);
+          let step acc id =
+            match acc with
+            | Error _ as e -> e
+            | Ok acc -> (
+                match read ctx (Obj_store.object_path collection id) with
+                | Error e -> Error (`Row (id, e))
+                | Ok data -> (
+                    match Record.decode data with
+                    | Error _ -> Ok acc (* undecodable rows are skipped *)
+                    | Ok record -> Ok (f acc id record)))
+          in
+          Result.map_error
+            (fun (`Row (_, e)) -> e)
+            (List.fold_left step (Ok init) ids))
 
-let select ?limit ctx ~collection ~where =
-  let truncate results =
-    match limit with
-    | None -> results
-    | Some n -> List.filteri (fun i _ -> i < n) results
-  in
-  Result.map
-    (fun acc ->
-      let results = truncate (List.rev acc) in
-      meter_rows ctx (List.length results);
-      results)
-    (scan ctx ~collection ~read:Syscall.read_file_taint ~init:[]
-       ~f:(fun acc id record ->
-         if where record then (id, record) :: acc else acc))
+let select ?limit ?(use_index = true) ctx ~collection ~where =
+  match Obj_store.list ctx ~collection with
+  | Error _ as e -> e
+  | Ok ids -> (
+      match absorb_summary ctx ~collection with
+      | Error _ as e -> e
+      | Ok () -> (
+          let kernel = ctx.Kernel.kernel in
+          let candidates =
+            if not use_index then ids
+            else
+              match atoms_of where with
+              | [] ->
+                  Index.meter_query_fallback kernel "predicate";
+                  ids
+              | atoms -> (
+                  match Index.plan kernel ~collection atoms with
+                  | Ok candidate_ids -> candidate_ids
+                  | Error reason ->
+                      Index.meter_query_fallback kernel reason;
+                      ids)
+          in
+          (* Candidates are a hint, nothing more: every one is re-read
+             through the syscall layer and re-checked against the full
+             predicate. Visiting stops once [limit] rows match — safe
+             now that the taint was settled above, independent of how
+             far we get. *)
+          let full = match limit with None -> max_int | Some n -> n in
+          let rec visit acc found = function
+            | [] -> Ok (List.rev acc)
+            | _ when found >= full -> Ok (List.rev acc)
+            | id :: rest -> (
+                meter_scanned ctx 1;
+                match
+                  Syscall.read_file_taint ctx
+                    (Obj_store.object_path collection id)
+                with
+                | Error e -> Error e
+                | Ok data -> (
+                    match Record.decode data with
+                    | Error _ -> visit acc found rest
+                    | Ok record ->
+                        if eval where record then
+                          visit ((id, record) :: acc) (found + 1) rest
+                        else visit acc found rest))
+          in
+          match visit [] 0 candidates with
+          | Error _ as e -> e
+          | Ok results ->
+              meter_rows ctx (List.length results);
+              Ok results))
 
 let select_leaky ctx ~collection ~where =
   match Obj_store.list ctx ~collection with
@@ -92,7 +181,7 @@ let select_leaky ctx ~collection ~where =
         | Ok data -> (
             match Record.decode data with
             | Error _ -> acc
-            | Ok record -> if where record then (id, record) :: acc else acc)
+            | Ok record -> if eval where record then (id, record) :: acc else acc)
       in
       let results = List.rev (List.fold_left step [] ids) in
       meter_rows ctx (List.length results);

@@ -7,23 +7,34 @@
     data it may not be tainted by.
 
     The replacement rule implemented here: a query taints the caller
-    with the labels of {b every row scanned}, not just the rows
-    returned. Absence then carries no exploitable signal — by the time
-    the caller learns the shape, it is already tainted by everything
-    that shaped it and cannot export the knowledge.
+    with the join of the labels of {b every row in the collection} —
+    the collection's label summary — before any row is served. Absence
+    then carries no exploitable signal: by the time the caller learns
+    the shape, it is already tainted by everything that could have
+    shaped it and cannot export the knowledge. Because the taint is
+    settled up front and does not depend on which rows are actually
+    visited, evaluation is free to visit {e fewer} rows: the planner
+    consults {!Index} for candidate ids when the predicate contains an
+    indexable conjunct, and [limit] stops the walk early. Every
+    candidate is still re-read through the syscall layer with the full
+    predicate re-applied — the index can never bypass a label check or
+    serve a stale row (see DESIGN.md, "Indexed queries").
 
     {!select_leaky} implements the classic (unsafe) semantics — skip
     rows the caller cannot read — and exists only as the baseline arm
     of experiment E8 and its ablation bench.
 
-    Every scanned row also costs CPU quota, so a malicious query
+    Every visited row also costs CPU quota, so a malicious query
     cannot monopolize the database (§3.5 "resource allocation"): it
     dies by quota instead. *)
 
 open W5_os
 
 type id = string
-type predicate = Record.t -> bool
+
+type predicate
+(** Reified so the planner can recognize indexable atoms; apply one
+    with {!eval}. *)
 
 val always : predicate
 val field_equals : string -> string -> predicate
@@ -36,17 +47,27 @@ val ( &&& ) : predicate -> predicate -> predicate
 val ( ||| ) : predicate -> predicate -> predicate
 val not_ : predicate -> predicate
 
-val select :
-  ?limit:int -> Kernel.ctx -> collection:string -> where:predicate ->
-  ((id * Record.t) list, Os_error.t) result
-(** Safe semantics: scan the whole collection, taint the caller with
-    the join of every row's labels, return decoded matches (sorted by
-    id). Rows that fail to decode are skipped.
+val custom : (Record.t -> bool) -> predicate
+(** An opaque predicate: always evaluated by scan, never indexed. *)
 
-    [limit] truncates the {e result}, never the {e scan}: stopping
-    early would make the taint depend on which rows matched — exactly
-    the shape channel this engine exists to close. Pagination costs a
-    full scan, by design. *)
+val eval : predicate -> Record.t -> bool
+
+val select :
+  ?limit:int -> ?use_index:bool -> Kernel.ctx -> collection:string ->
+  where:predicate -> ((id * Record.t) list, Os_error.t) result
+(** Safe semantics: absorb the collection's label summary, then return
+    decoded matches in id order. Rows that fail to decode are skipped.
+
+    [limit] short-circuits the walk once that many rows match; the
+    taint (already settled) is unaffected, so pagination no longer
+    costs a full read of the collection.
+
+    [use_index] (default [true]) lets the planner serve candidates
+    from {!Index} when the predicate's conjunction spine contains a
+    [field_equals] or [field_int_at_least] atom over a declared field.
+    [~use_index:false] forces the scan path — results are identical by
+    construction (the equivalence property test holds the two paths to
+    that), only the number of rows visited differs. *)
 
 val select_leaky :
   Kernel.ctx -> collection:string -> where:predicate ->
@@ -62,4 +83,5 @@ val count :
 val fold :
   Kernel.ctx -> collection:string -> init:'a ->
   f:('a -> id -> Record.t -> 'a) -> ('a, Os_error.t) result
-(** Safe full-collection fold (taints like {!select}). *)
+(** Safe full-collection fold (taints like {!select}, visits every
+    row). *)

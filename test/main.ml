@@ -5,6 +5,7 @@ let () =
       ("os", Test_os.suite);
       ("obs", Test_obs.suite);
       ("store", Test_store.suite);
+      ("index", Test_index.suite);
       ("http", Test_http.suite);
       ("platform", Test_platform.suite);
       ("rank", Test_rank.suite);

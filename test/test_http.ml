@@ -31,7 +31,17 @@ let test_uri_with_query () =
 let test_uri_decode_edge_cases () =
   check string_c "literal percent kept" "100%" (Uri.percent_decode "100%");
   check string_c "truncated escape" "%2" (Uri.percent_decode "%2");
-  check string_c "plus" "a b" (Uri.percent_decode "a+b")
+  (* '+' is only a space in form-encoded query strings, not in paths *)
+  check string_c "plus survives in paths" "a+b" (Uri.percent_decode "a+b");
+  check string_c "encoded space still decodes" "a b" (Uri.percent_decode "a%20b")
+
+let test_uri_plus_path_vs_query () =
+  let u = Uri.parse "/file/a+b?q=c+d&r=e%2Bf" in
+  check string_c "path keeps plus" "/file/a+b" u.Uri.path;
+  check (Alcotest.option string_c) "query plus is space" (Some "c d")
+    (Uri.query_get u "q");
+  check (Alcotest.option string_c) "encoded plus survives" (Some "e+f")
+    (Uri.query_get u "r")
 
 let prop_uri_query_roundtrip =
   let arb =
@@ -196,6 +206,8 @@ let suite =
     Alcotest.test_case "uri normalization" `Quick test_uri_normalization;
     Alcotest.test_case "uri with_query" `Quick test_uri_with_query;
     Alcotest.test_case "uri decode edges" `Quick test_uri_decode_edge_cases;
+    Alcotest.test_case "uri plus: path vs query" `Quick
+      test_uri_plus_path_vs_query;
     Alcotest.test_case "headers case insensitive" `Quick
       test_headers_case_insensitive;
     Alcotest.test_case "cookie parsing" `Quick test_cookie_parsing;

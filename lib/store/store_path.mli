@@ -1,0 +1,29 @@
+(** Path conventions for the object store, shared by {!Obj_store} and
+    {!Index} (which must agree on where objects live without depending
+    on each other). *)
+
+val root : string
+(** The store's root directory, ["/store"]. *)
+
+val sanitize : string -> string
+(** Escape an application-chosen name into a filesystem-safe one.
+    Injective: ['_'] becomes ["__"] and ['/'] becomes ["_s"], so
+    distinct logical names never alias the same on-disk file. *)
+
+val unsanitize : string -> string
+(** Inverse of {!sanitize} on its image; lenient elsewhere (a stray
+    unescaped ['_'] passes through) so directory listings never
+    fail. *)
+
+val round_trips : string -> bool
+(** [true] iff the on-disk name is something {!sanitize} can produce,
+    i.e. [sanitize (unsanitize name) = name]. Raw files smuggled in
+    with bad escapes fail this and force queries onto the scan
+    path. *)
+
+val collection_path : string -> string
+(** [collection_path c] is the directory holding collection [c]. *)
+
+val object_path : string -> string -> string
+(** [object_path c id] is the file holding object [id] of collection
+    [c]. *)

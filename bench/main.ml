@@ -251,15 +251,15 @@ let bench_perimeter =
       Test.make ~name:"owner-allow"
         (staged (fun () ->
              Perimeter.export perimeter_platform ~viewer:(Some perimeter_owner)
-               ~data:"payload" ~labels:perimeter_labels));
+               ~data:"payload" ~labels:perimeter_labels ()));
       Test.make ~name:"friend-via-declassifier"
         (staged (fun () ->
              Perimeter.export perimeter_platform ~viewer:(Some perimeter_friend)
-               ~data:"payload" ~labels:perimeter_labels));
+               ~data:"payload" ~labels:perimeter_labels ()));
       Test.make ~name:"public-payload"
         (staged (fun () ->
              Perimeter.export perimeter_platform ~viewer:None ~data:"payload"
-               ~labels:Flow.bottom));
+               ~labels:Flow.bottom ()));
     ]
 
 let bench_declassifier =
@@ -832,6 +832,95 @@ let bench_scaling =
        scaling_societies)
 
 (* ------------------------------------------------------------------ *)
+(* provenance: graph reconstruction cost vs audit-log size             *)
+(* ------------------------------------------------------------------ *)
+
+(* A synthetic but representative audit log: a bounded population of
+   processes, paths and tags generating the same event mix a provider
+   sees (taints, checked flows, object labelings, declassifications,
+   spawns, a denial and an export attempt per "request"). Sizes are
+   the retained entry counts the graph builder must chew through. *)
+let synthetic_audit_log n =
+  let log = W5_os.Audit.create () in
+  let n_tags = 16 and n_paths = 64 and n_pids = 32 in
+  let tags =
+    Array.init n_tags (fun i ->
+        Tag.fresh ~name:(Printf.sprintf "bench.tag%02d" i) Tag.Secrecy)
+  in
+  let label i = Label.singleton tags.(i mod n_tags) in
+  let labels i = Flow.make ~secrecy:(label i) () in
+  let path i = Printf.sprintf "/users/u%02d/file%02d" (i mod 8) (i mod n_paths) in
+  let pid i = 1 + (i mod n_pids) in
+  let record i ev = W5_os.Audit.record log ~tick:i ~pid:(pid i) ev in
+  for i = 0 to n - 1 do
+    match i mod 8 with
+    | 0 ->
+        record i
+          (W5_os.Audit.Spawned
+             { child = pid (i + 1); name = Printf.sprintf "app%02d" (i mod 12);
+               labels = labels i })
+    | 1 | 2 ->
+        record i
+          (W5_os.Audit.Tainted
+             { op = "fs.read_taint"; subject = W5_os.Audit.File (path i);
+               added = label i })
+    | 3 ->
+        record i
+          (W5_os.Audit.Object_labeled
+             { op = "fs.create"; path = path i; labels = labels i })
+    | 4 ->
+        record i
+          (W5_os.Audit.Flow_checked
+             { op = "fs.write"; src = labels i; dst = labels (i + 1);
+               decision = Error (Flow.Secrecy_violation (label i));
+               subject = W5_os.Audit.File (path i) })
+    | 5 ->
+        record i
+          (W5_os.Audit.Declassified
+             { tag = tags.(i mod n_tags); context = "declass/bench/friends" })
+    | 6 ->
+        record i
+          (W5_os.Audit.Export_attempted
+             { destination = "viewer's browser"; labels = labels i;
+               decision = (if i mod 16 = 6 then
+                             Error (Flow.Secrecy_violation (label i))
+                           else Ok ()) })
+    | _ ->
+        record i
+          (W5_os.Audit.Tainted
+             { op = "ipc.recv"; subject = W5_os.Audit.Peer (pid (i + 3));
+               added = label (i + 1) })
+  done;
+  log
+
+let provenance_logs =
+  List.map (fun n -> (n, synthetic_audit_log n)) [ 1_000; 10_000; 100_000 ]
+
+(* explain latency: resolve the last denial of the largest log against
+   a prebuilt graph — the interactive `w5 explain` path. *)
+let provenance_big_log = List.assoc 100_000 provenance_logs
+let provenance_big_graph = W5_os.Explain.graph provenance_big_log
+
+let bench_provenance =
+  Test.make_grouped ~name:"provenance"
+    (List.map
+       (fun (n, log) ->
+         Test.make
+           ~name:(Printf.sprintf "graph-build-%dk-entries" (n / 1000))
+           (staged (fun () -> W5_os.Explain.graph log)))
+       provenance_logs
+    @ [
+        Test.make ~name:"explain-denial-100k"
+          (staged (fun () ->
+               match
+                 W5_os.Explain.find_denial provenance_big_log ()
+               with
+               | None -> failwith "bench: no denial in synthetic log"
+               | Some entry ->
+                   W5_os.Explain.explain provenance_big_graph entry));
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -854,11 +943,27 @@ let groups =
     bench_syscall;
     bench_metrics;
     bench_filter;
+    bench_provenance;
   ]
 
 (* --smoke: one tiny iteration per group, for CI — proves every bench
    fixture and body still runs, without measuring anything. *)
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
+
+(* --only NAME: run a single group (CI smokes the expensive groups
+   individually; fixtures still build — they are module-level). *)
+let only =
+  let rec find = function
+    | "--only" :: name :: _ -> Some name
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let groups =
+  match only with
+  | None -> groups
+  | Some name -> List.filter (fun g -> Test.name g = name) groups
 
 let run_and_analyze test =
   let ols =

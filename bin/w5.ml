@@ -116,6 +116,136 @@ let audit_cmd =
        ~doc:"Run attack apps against a user and print the denial trail.")
     term
 
+(* ---- w5 explain / provenance / audit-report: the flight recorder ---- *)
+
+(* The scripted breach scenario the explanation tools run over: a
+   malicious app taint-reads the victim's profile and the perimeter
+   denies its export to the attacker; then a legitimate friend views
+   the same profile, exercising the friends-only declassifier. Every
+   path — denial, declassification, allow — is in the log. *)
+let breach_scenario ~seed ~users =
+  let society = build_society ~seed ~users ~enforcing:true in
+  let platform = society.W5_workload.Populate.platform in
+  let mal = W5_difc.Principal.make W5_difc.Principal.Developer "mal" in
+  ignore (W5_apps.Malicious.publish_all platform ~dev:mal);
+  let victim = List.hd society.W5_workload.Populate.users in
+  let attacker = Client.make ~name:"attacker" (Gateway.handler platform) in
+  ignore (Client.get attacker "/app/mal/thief" ~params:[ ("target", victim) ]);
+  let friends_of user =
+    let account = Platform.account_exn platform user in
+    match Platform.read_user_record platform account ~file:"friends" with
+    | Ok r -> W5_store.Record.get_list r "friends"
+    | Error _ -> []
+  in
+  (match friends_of victim with
+  | friend :: _ when List.mem friend society.W5_workload.Populate.users ->
+      let client = W5_workload.Populate.login society friend in
+      ignore (Client.get client "/app/core/social" ~params:[ ("user", victim) ])
+  | _ -> ());
+  (platform, victim)
+
+let explain_denial seed users seq pid dot =
+  let platform, _victim = breach_scenario ~seed ~users in
+  let log = W5_os.Kernel.audit (Platform.kernel platform) in
+  match W5_os.Explain.find_denial log ?seq ?pid () with
+  | None -> `Error (false, "no matching denial in the audit log")
+  | Some entry -> (
+      let g = W5_os.Explain.graph log in
+      Format.printf "denial: %a@.@." W5_os.Audit.pp_entry entry;
+      match
+        if dot then W5_os.Explain.explain_dot g entry
+        else W5_os.Explain.explain_text g entry
+      with
+      | Error msg -> `Error (false, msg)
+      | Ok rendered ->
+          print_string rendered;
+          print_newline ();
+          `Ok ())
+
+let explain_cmd =
+  let seq =
+    Arg.(value & opt (some int) None & info [ "seq" ] ~docv:"SEQ"
+           ~doc:"Audit sequence number of the denial to explain.")
+  in
+  let pid =
+    Arg.(value & opt (some int) None & info [ "pid" ] ~docv:"PID"
+           ~doc:"Explain the most recent denial by this process.")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ]
+           ~doc:"Emit the causal chain as Graphviz DOT instead of text.")
+  in
+  let term =
+    Term.(ret (const explain_denial $ seed_arg $ users_arg $ seq $ pid $ dot))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain a denial: the causal chain of audited events that put \
+             the offending tags on the denied process.")
+    term
+
+let provenance seed users path pid =
+  let platform, victim = breach_scenario ~seed ~users in
+  let log = W5_os.Kernel.audit (Platform.kernel platform) in
+  let g = W5_os.Explain.graph log in
+  let print_histories target histories =
+    if histories = [] then
+      Printf.printf "%s carries no secrecy tags (per the retained log)\n"
+        target
+    else
+      List.iter
+        (fun (tag, edges) ->
+          Printf.printf "%s: tag %s arrived via\n" target tag;
+          List.iter
+            (fun e ->
+              print_string "  ";
+              print_string (W5_obs.Provenance.render_edge g e);
+              print_newline ())
+            edges)
+        histories
+  in
+  (match (path, pid) with
+  | None, Some p ->
+      print_histories
+        (Printf.sprintf "pid %d" p)
+        (W5_os.Explain.process_provenance g log ~pid:p)
+  | Some path, _ -> print_histories path (W5_os.Explain.file_provenance g ~path)
+  | None, None ->
+      let path = Platform.user_file victim "profile" in
+      print_histories path (W5_os.Explain.file_provenance g ~path));
+  `Ok ()
+
+let provenance_cmd =
+  let path =
+    Arg.(value & opt (some string) None & info [ "path" ] ~docv:"PATH"
+           ~doc:"File to trace (defaults to the scenario victim's profile).")
+  in
+  let pid =
+    Arg.(value & opt (some int) None & info [ "pid" ] ~docv:"PID"
+           ~doc:"Trace a process's current tags instead of a file's.")
+  in
+  let term =
+    Term.(ret (const provenance $ seed_arg $ users_arg $ path $ pid))
+  in
+  Cmd.v
+    (Cmd.info "provenance"
+       ~doc:"Per-tag history: which audited events put each secrecy tag on \
+             a file or process.")
+    term
+
+let audit_report seed users =
+  let platform, _ = breach_scenario ~seed ~users in
+  print_string (W5_os.Explain.report (W5_os.Kernel.audit (Platform.kernel platform)));
+  `Ok ()
+
+let audit_report_cmd =
+  let term = Term.(ret (const audit_report $ seed_arg $ users_arg)) in
+  Cmd.v
+    (Cmd.info "audit-report"
+       ~doc:"Provider-side rollup of the audit log: declassifications by \
+             gate, denials by reason/op/app, exports, tainted paths.")
+    term
+
 (* ---- w5 rank: the code-search view of a module ecosystem ---- *)
 
 let rank seed modules top =
@@ -320,7 +450,10 @@ let stats seed users format =
   | "json" -> print_string (W5_obs.Exposition.json metrics)
   | _ -> print_string (W5_obs.Exposition.prometheus metrics));
   print_newline ();
-  (match W5_obs.Tracer.latest (W5_os.Kernel.tracer kernel) with
+  let tracer = W5_os.Kernel.tracer kernel in
+  Printf.printf "# traces dropped from the completed ring: %d\n"
+    (W5_obs.Tracer.dropped tracer);
+  (match W5_obs.Tracer.latest tracer with
   | None -> ()
   | Some span ->
       print_string "# last recorded trace (logical ticks)\n";
@@ -379,7 +512,7 @@ let main_cmd =
   let doc = "World Wide Web Without Walls — simulated provider driver" in
   let info = Cmd.info "w5" ~version:"1.0" ~doc in
   Cmd.group info
-    [ serve_cmd; audit_cmd; rank_cmd; sync_cmd; trace_cmd; export_cmd;
-      stats_cmd; experiments_cmd ]
+    [ serve_cmd; audit_cmd; explain_cmd; provenance_cmd; audit_report_cmd;
+      rank_cmd; sync_cmd; trace_cmd; export_cmd; stats_cmd; experiments_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

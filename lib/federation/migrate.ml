@@ -35,7 +35,9 @@ let export_bundle platform (account : Account.t) =
     (fun ctx ->
       let declassify_all () =
         List.iter
-          (fun tag -> ignore (Syscall.declassify_self ctx tag))
+          (fun tag ->
+            ignore
+              (Syscall.declassify_self ctx ~context:"federation.migrate" tag))
           (account.Account.secret_tag
           :: (match account.Account.read_tag with Some rt -> [ rt ] | None -> []))
       in

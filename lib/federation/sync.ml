@@ -65,7 +65,9 @@ let export_record platform (account : Account.t) ~file =
           | Error _ as e -> e
           | Ok data -> (
               List.iter
-                (fun tag -> ignore (Syscall.declassify_self ctx tag))
+                (fun tag ->
+                  ignore
+                    (Syscall.declassify_self ctx ~context:"federation.sync" tag))
                 (account.Account.secret_tag
                 :: (match account.Account.read_tag with
                    | Some rt -> [ rt ]
@@ -185,6 +187,19 @@ let sync_file link ~file =
       (Platform.kernel platform)
       ~path:(Platform.user_file account.Account.user file)
   in
+  (* Provider name of a side, for audit attribution of sync writes. *)
+  let name_of platform =
+    if platform == a.platform then a.provider_name else b.provider_name
+  in
+  let audit_sync ~on ~peer (account : Account.t) ~direction =
+    Kernel.record (Platform.kernel on) ~pid:0
+      (Audit.Sync_applied
+         {
+           peer;
+           path = Platform.user_file account.Account.user file;
+           direction;
+         })
+  in
   let copy ~src_platform ~src_account ~dst_platform ~dst_account =
     match export_record src_platform src_account ~file with
     | Error e -> Error (Os_error.to_string e)
@@ -215,6 +230,10 @@ let sync_file link ~file =
               | Error e -> Error (Os_error.to_string e)
               | Ok () ->
                   invalidate_index dst_platform dst_account;
+                  audit_sync ~on:dst_platform ~peer:(name_of src_platform)
+                    dst_account ~direction:"pull";
+                  audit_sync ~on:src_platform ~peer:(name_of dst_platform)
+                    src_account ~direction:"push";
                   remember ();
                   Ok `Copied))
   in
@@ -308,6 +327,10 @@ let sync_file link ~file =
               in
               (match (write a.platform account_a, write b.platform account_b) with
               | Ok (), Ok () ->
+                  audit_sync ~on:a.platform ~peer:b.provider_name account_a
+                    ~direction:"merge";
+                  audit_sync ~on:b.platform ~peer:a.provider_name account_b
+                    ~direction:"merge";
                   remember ();
                   Ok `Merged
               | Error e, _ | _, Error e -> Error (Os_error.to_string e)))

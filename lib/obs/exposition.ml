@@ -166,4 +166,10 @@ let trace_tree root =
   Buffer.contents buf
 
 let traces tracer =
-  String.concat "\n" (List.map trace_tree (Tracer.traces tracer))
+  let body =
+    String.concat "\n" (List.map trace_tree (Tracer.traces tracer))
+  in
+  match Tracer.dropped tracer with
+  | 0 -> body
+  | n -> Printf.sprintf "%s(%d older trace%s dropped)\n" body n
+           (if n = 1 then "" else "s")

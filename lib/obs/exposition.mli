@@ -23,4 +23,6 @@ gateway:app core/social  [t12..t40 +28] status=200
     v} *)
 
 val traces : Tracer.t -> string
-(** Every completed trace, oldest first, blank-line separated. *)
+(** Every completed trace, oldest first, blank-line separated; ends
+    with a ["(N older traces dropped)"] notice when the tracer's ring
+    has evicted completed traces. *)

@@ -1,0 +1,246 @@
+type node = Process of int | Object of string | Remote of string
+
+type edge = {
+  kind : string;
+  src : node;
+  dst : node;
+  seq : int;
+  tick : int;
+  tags : string list;
+  denied : string option;
+  detail : string option;
+}
+
+module Node = struct
+  type t = node
+
+  let compare = compare
+end
+
+module Node_map = Map.Make (Node)
+
+type t = {
+  node_budget : int;
+  mutable nodes : unit Node_map.t;
+  mutable aliases : string Node_map.t;
+  mutable rev_edges : edge list; (* newest first *)
+  mutable n_edges : int;
+  mutable truncated : bool;
+  (* per-node incoming/outgoing adjacency, newest first *)
+  mutable in_adj : edge list Node_map.t;
+  mutable out_adj : edge list Node_map.t;
+}
+
+let create ?(node_budget = 4096) () =
+  {
+    node_budget = max 1 node_budget;
+    nodes = Node_map.empty;
+    aliases = Node_map.empty;
+    rev_edges = [];
+    n_edges = 0;
+    truncated = false;
+    in_adj = Node_map.empty;
+    out_adj = Node_map.empty;
+  }
+
+let truncated t = t.truncated
+let node_count t = Node_map.cardinal t.nodes
+let edge_count t = t.n_edges
+
+let intern t node =
+  if Node_map.mem node t.nodes then true
+  else if Node_map.cardinal t.nodes >= t.node_budget then (
+    t.truncated <- true;
+    false)
+  else (
+    t.nodes <- Node_map.add node () t.nodes;
+    true)
+
+let add_edge t edge =
+  (* Both endpoints must fit before the edge is committed; a vertex
+     minted for an edge that is then dropped is reclaimed so it does
+     not eat budget without ever being reachable. *)
+  let src_was_known = Node_map.mem edge.src t.nodes in
+  let have_src = intern t edge.src in
+  let have_dst = have_src && intern t edge.dst in
+  if have_src && have_dst then (
+    t.rev_edges <- edge :: t.rev_edges;
+    t.n_edges <- t.n_edges + 1;
+    let push m n =
+      Node_map.update n
+        (function None -> Some [ edge ] | Some l -> Some (edge :: l))
+        m
+    in
+    t.in_adj <- push t.in_adj edge.dst;
+    t.out_adj <- push t.out_adj edge.src)
+  else if have_src && not src_was_known then
+    t.nodes <- Node_map.remove edge.src t.nodes
+
+let set_alias t node name = t.aliases <- Node_map.add node name t.aliases
+
+let node_label t node =
+  match node with
+  | Process pid -> (
+      match Node_map.find_opt node t.aliases with
+      | Some a -> Printf.sprintf "pid %d (%s)" pid a
+      | None -> Printf.sprintf "pid %d" pid)
+  | Object path -> path
+  | Remote name -> name
+
+let incoming t node =
+  match Node_map.find_opt node t.in_adj with None -> [] | Some l -> List.rev l
+
+let outgoing t node =
+  match Node_map.find_opt node t.out_adj with None -> [] | Some l -> List.rev l
+
+let edges t = List.rev t.rev_edges
+
+let find_edge t ~seq =
+  List.find_opt (fun e -> e.seq = seq) t.rev_edges
+
+let carries_any edge tags =
+  match tags with
+  | [] -> true
+  | _ -> List.exists (fun tag -> List.mem tag edge.tags) tags
+
+let by_seq a b = compare a.seq b.seq
+
+(* Backward causal walk. From [node], follow incoming edges with
+   seq < before that carry one of [tags]; recurse into each edge's
+   source with that edge's seq as the new horizon (causes must
+   precede effects). The step budget bounds work on adversarially
+   dense graphs; visited-set keyed on (node, horizon-bucket) would be
+   tighter but (node) alone with the min horizon seen is enough for
+   termination and keeps results intuitive. *)
+let causes t ?(tags = []) ~before node =
+  let budget = ref 10_000 in
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec walk node before =
+    if !budget <= 0 then ()
+    else
+      let prior = try Hashtbl.find seen node with Not_found -> min_int in
+      if before <= prior then ()
+      else begin
+        Hashtbl.replace seen node before;
+        List.iter
+          (fun e ->
+            if e.seq < before && carries_any e tags then begin
+              decr budget;
+              if not (List.memq e !acc) then acc := e :: !acc;
+              walk e.src e.seq
+            end)
+          (incoming t node)
+      end
+  in
+  walk node before;
+  List.sort_uniq by_seq !acc
+
+let explain t edge =
+  let chain = causes t ~tags:edge.tags ~before:edge.seq edge.src in
+  chain @ [ edge ]
+
+let tag_history t node ~tag =
+  (* direct arrivals of [tag] at [node], plus how the tag reached the
+     sources of those arrivals *)
+  let direct =
+    List.filter (fun e -> List.mem tag e.tags) (incoming t node)
+  in
+  let upstream =
+    List.concat_map (fun e -> causes t ~tags:[ tag ] ~before:e.seq e.src) direct
+  in
+  List.sort_uniq by_seq (direct @ upstream)
+
+let render_tags tags =
+  match tags with
+  | [] -> ""
+  | _ -> Printf.sprintf " {%s}" (String.concat ", " tags)
+
+let render_edge t e =
+  let detail = match e.detail with None -> "" | Some d -> Printf.sprintf " (%s)" d in
+  let verdict = match e.denied with None -> "" | Some d -> Printf.sprintf " DENIED: %s" d in
+  Printf.sprintf "#%d t=%d %s -[%s]-> %s%s%s%s" e.seq e.tick
+    (node_label t e.src) e.kind (node_label t e.dst) (render_tags e.tags)
+    detail verdict
+
+let render_chain t chain =
+  let lines = List.map (render_edge t) chain in
+  let lines =
+    if t.truncated then
+      lines
+      @ [
+          Printf.sprintf
+            "(graph truncated at node budget %d; earlier history may be missing)"
+            t.node_budget;
+        ]
+    else lines
+  in
+  String.concat "\n" lines
+
+(* --- DOT rendering --------------------------------------------------- *)
+
+let dot_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let ident s =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_')
+    s
+
+let node_id = function
+  | Process pid -> Printf.sprintf "p%d" pid
+  | Object path -> "o_" ^ ident path
+  | Remote name -> "r_" ^ ident name
+
+let node_decl t node =
+  let shape, style =
+    match node with
+    | Process _ -> ("ellipse", "")
+    | Object _ -> ("box", "")
+    | Remote _ -> ("diamond", ",style=dashed")
+  in
+  Printf.sprintf "  %s [label=\"%s\",shape=%s%s];" (node_id node)
+    (dot_escape (node_label t node))
+    shape style
+
+let edge_decl e =
+  let label =
+    Printf.sprintf "#%d %s%s" e.seq e.kind
+      (match e.tags with [] -> "" | ts -> "\\n{" ^ String.concat "," ts ^ "}")
+  in
+  let color = match e.denied with None -> "" | Some _ -> ",color=red,fontcolor=red" in
+  Printf.sprintf "  %s -> %s [label=\"%s\"%s];" (node_id e.src) (node_id e.dst)
+    (dot_escape label) color
+
+let dot_of t ~nodes ~edges =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "digraph provenance {\n  rankdir=LR;\n";
+  List.iter (fun n -> Buffer.add_string b (node_decl t n); Buffer.add_char b '\n') nodes;
+  List.iter (fun e -> Buffer.add_string b (edge_decl e); Buffer.add_char b '\n') edges;
+  if t.truncated then
+    Buffer.add_string b
+      "  _truncated [label=\"truncated\",shape=note,style=dashed];\n";
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let to_dot t =
+  let nodes = List.map fst (Node_map.bindings t.nodes) in
+  let nodes = List.sort compare nodes in
+  dot_of t ~nodes ~edges:(List.sort by_seq (edges t))
+
+let dot_of_chain t chain =
+  let nodes =
+    List.concat_map (fun e -> [ e.src; e.dst ]) chain
+    |> List.sort_uniq compare
+  in
+  dot_of t ~nodes ~edges:(List.sort by_seq chain)

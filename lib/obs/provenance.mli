@@ -1,0 +1,109 @@
+(** Data-free flow-provenance graphs (§3.5 "Debugging").
+
+    A provenance graph is the causal skeleton of the audit log: nodes
+    are processes, filesystem objects and remote endpoints; edges are
+    the audited events that moved secrecy tags between them (reads,
+    IPC, spawns, gate calls, relabels, federation syncs, exports).
+    Like the audit log it is reconstructed from, the graph stores
+    {e identities} — pids, paths, tag names, peer names — and never
+    user bytes, so it can be shown to a developer whose export was
+    denied or to a provider auditing a declassifier.
+
+    The graph itself is generic: it knows nothing about
+    [W5_os.Audit] (this library sits below [w5.os]); the translation
+    from audit entries lives in [W5_os.Explain]. *)
+
+(** A vertex: the three kinds of place a tag can live or go. *)
+type node =
+  | Process of int    (** a kernel pid *)
+  | Object of string  (** a filesystem path *)
+  | Remote of string  (** an off-platform destination or federation peer *)
+
+(** One audited event, as a labeled arc. [seq]/[tick] cite the audit
+    entry the edge was built from, so every rendered edge is
+    checkable against the log. [tags] are secrecy tag {e names}
+    carried or introduced by the event; [denied] is the denial
+    rendering when the event was refused. [detail] is a data-free
+    annotation (a declassifier context, a sync direction). *)
+type edge = {
+  kind : string;
+  src : node;
+  dst : node;
+  seq : int;
+  tick : int;
+  tags : string list;
+  denied : string option;
+  detail : string option;
+}
+
+type t
+
+val create : ?node_budget:int -> unit -> t
+(** [node_budget] (default 4096) bounds the number of distinct nodes:
+    once reached, edges that would mint a new node are dropped and
+    {!truncated} flips to [true]. Queries over a truncated graph are
+    still sound over the retained subgraph — they just may not reach
+    the full history, exactly like a capacity-bounded audit log. *)
+
+val add_edge : t -> edge -> unit
+(** Insert an edge, creating its endpoints as needed. Dropped (and the
+    graph marked truncated) when an endpoint would exceed the node
+    budget. *)
+
+val set_alias : t -> node -> string -> unit
+(** Attach a display name to a node (e.g. pid 7 -> ["mal/thief"]).
+    Later aliases win (pids are reused across a long log's history). *)
+
+val node_label : t -> node -> string
+(** Human rendering of a node, using its alias when one is set:
+    ["pid 7 (mal/thief)"], a path, or a remote name. *)
+
+val truncated : t -> bool
+val node_count : t -> int
+val edge_count : t -> int
+
+val incoming : t -> node -> edge list
+(** Edges into a node, oldest first. Empty for unknown nodes. *)
+
+val outgoing : t -> node -> edge list
+
+val find_edge : t -> seq:int -> edge option
+(** The edge built from audit entry [seq], if any (not every audit
+    entry yields an edge). *)
+
+val edges : t -> edge list
+(** Every edge, oldest first. *)
+
+val causes : t -> ?tags:string list -> before:int -> node -> edge list
+(** The causal history of [node]: edges with [seq < before] that
+    carried one of [tags] (any tag when [tags] is [[]]) into the node,
+    transitively through their own source nodes. Sorted by [seq];
+    bounded by an internal step budget so adversarially dense graphs
+    terminate. *)
+
+val explain : t -> edge -> edge list
+(** The causal chain ending at [edge]: {!causes} of its source
+    restricted to its tags, with [edge] itself last. This is the
+    "why was this denied" query. *)
+
+val tag_history : t -> node -> tag:string -> edge list
+(** Every retained edge that (transitively) moved [tag] toward
+    [node], sorted by [seq] — the per-tag provenance of a file or
+    process. *)
+
+val render_edge : t -> edge -> string
+(** One line, citing the audit entry:
+    ["#27 t=41 pid 7 (mal/thief) -[export]-> evil.example {alice.secret} DENIED: ..."]. *)
+
+val render_chain : t -> edge list -> string
+(** {!render_edge} per line, with a truncation notice when the graph
+    dropped nodes. *)
+
+val to_dot : t -> string
+(** The whole graph in Graphviz DOT, deterministically ordered
+    (nodes lexicographically, edges by [seq]); denied edges are
+    colored red, remote nodes drawn as diamonds, objects as boxes. *)
+
+val dot_of_chain : t -> edge list -> string
+(** DOT restricted to a causal chain — what [w5 explain --dot]
+    prints. *)

@@ -5,11 +5,12 @@ type t = {
   mutable stack : Span.t list;      (* open spans, innermost first *)
   mutable completed : Span.t list;  (* finished roots, newest first *)
   mutable completed_count : int;
+  mutable dropped_count : int;      (* roots evicted from the ring *)
 }
 
 let create ?(capacity = 16) ?(enabled = false) () =
   { t_enabled = enabled; t_capacity = max 1 capacity; next_id = 0;
-    stack = []; completed = []; completed_count = 0 }
+    stack = []; completed = []; completed_count = 0; dropped_count = 0 }
 
 let enabled t = t.t_enabled
 let set_enabled t b = t.t_enabled <- b
@@ -20,6 +21,7 @@ let commit t root =
   t.completed_count <- t.completed_count + 1;
   if t.completed_count > t.t_capacity then begin
     t.completed <- List.filteri (fun i _ -> i < t.t_capacity) t.completed;
+    t.dropped_count <- t.dropped_count + (t.completed_count - t.t_capacity);
     t.completed_count <- t.t_capacity
   end
 
@@ -64,8 +66,10 @@ let with_span t ~clock ?fields name f =
 
 let traces t = List.rev t.completed
 let latest t = match t.completed with [] -> None | s :: _ -> Some s
+let dropped t = t.dropped_count
 
 let clear t =
   t.stack <- [];
   t.completed <- [];
-  t.completed_count <- 0
+  t.completed_count <- 0;
+  t.dropped_count <- 0

@@ -51,5 +51,11 @@ val traces : t -> Span.t list
 
 val latest : t -> Span.t option
 
+val dropped : t -> int
+(** How many completed traces have been evicted from the ring since
+    creation (or the last {!clear}) — the tracing analogue of audit
+    eviction: when it is non-zero, [traces] is a suffix of the true
+    history. *)
+
 val clear : t -> unit
 (** Drop completed traces and abandon any open stack. *)

@@ -4,10 +4,23 @@
     read private data *is* private data. Instead the kernel records
     every security decision as a structured, data-free event. A
     developer (or the provider) can query the log for their own
-    processes' denials; the log stores labels and tag names but never
-    user bytes. *)
+    processes' denials; the log stores labels, tag names and object
+    {e identities} (paths, pids, destinations) but never user bytes.
+
+    Entries carry enough causal identity — which file a flow check
+    guarded, which peer an IPC absorbed tags from — for
+    {!W5_os.Explain} to reconstruct a provenance graph from the log
+    alone. *)
 
 open W5_difc
+
+(** The object a flow check or taint event was about. Identities only:
+    a path or pid names {e where} data moved, never what it said. *)
+type subject =
+  | No_subject
+  | File of string   (** a filesystem path *)
+  | Peer of int      (** the other process in an IPC or gate exchange *)
+  | Gate of string   (** a declassifier gate, by registered name *)
 
 (** What happened. *)
 type event =
@@ -16,6 +29,7 @@ type event =
       src : Flow.labels;
       dst : Flow.labels;
       decision : (unit, Flow.denial) result;
+      subject : subject;         (** what the check guarded *)
     }
   | Label_changed of {
       old_labels : Flow.labels;
@@ -28,7 +42,22 @@ type event =
       decision : (unit, Flow.denial) result;
     }
   | Declassified of { tag : Tag.t; context : string }
-  | Spawned of { child : int; name : string }
+      (** [context] names the authority under which the tag was
+          dropped: a gate name, ["ipc.send"], ["federation.sync"]. *)
+  | Tainted of { op : string; subject : subject; added : Label.t }
+      (** A process absorbed new secrecy tags — the only way taint
+          spreads, and therefore the edges provenance walks backward.
+          [added] is the set of tags the process did not carry
+          before. *)
+  | Object_labeled of { op : string; path : string; labels : Flow.labels }
+      (** A filesystem object was created or relabeled; records where
+          each file's tags came from. *)
+  | Sync_applied of { peer : string; path : string; direction : string }
+      (** A federation round copied [path] to/from [peer]
+          ([direction] is ["push"] or ["pull"]). *)
+  | Spawned of { child : int; name : string; labels : Flow.labels }
+      (** [labels] are the child's initial labels — the provenance
+          root for everything the child later taints. *)
   | Gate_invoked of { gate : string; child : int }
   | Killed of { reason : string }
   | Quota_hit of Resource.kind
@@ -50,6 +79,13 @@ val create : ?capacity:int -> unit -> log
 
 val record : log -> tick:int -> pid:int -> event -> unit
 val length : log -> int
+
+val evicted : log -> int
+(** How many entries truncation has discarded so far ([seq] of the
+    newest entry minus {!length}). Every query below sees only the
+    retained suffix: when [evicted] is non-zero, an empty result means
+    "not in the retained window", not "never happened". *)
+
 val entries : log -> entry list
 (** Oldest first. *)
 
@@ -61,11 +97,30 @@ val fold : log -> init:'a -> f:('a -> entry -> 'a) -> 'a
 (** Oldest-first fold, same allocation guarantee as {!iter}. *)
 
 val find : log -> f:(entry -> bool) -> entry list
+(** Retained entries satisfying [f], oldest first. *)
+
+val query :
+  log ->
+  ?pid:int ->
+  ?kind:string ->
+  ?seq_from:int ->
+  ?seq_to:int ->
+  ?denials_only:bool ->
+  unit ->
+  entry list
+(** Filtered scan, oldest first; all filters conjoin. [kind] matches
+    {!event_kind} strings. [seq_from]/[seq_to] are inclusive; asking
+    for sequence numbers older than the retained window (see
+    {!evicted}) yields fewer entries than the range implies, silently
+    — callers that care should compare against [evicted]. *)
+
 val denials : log -> entry list
 (** Only the entries whose decision was a denial. *)
 
 val for_pid : log -> int -> entry list
 val clear : log -> unit
+
+val is_denial : entry -> bool
 
 val event_kind : event -> string
 (** Constructor name as a low-cardinality telemetry label, e.g.

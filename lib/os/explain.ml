@@ -1,0 +1,261 @@
+open W5_difc
+module P = W5_obs.Provenance
+
+let tag_names label = List.map Tag.name (Label.to_list label)
+
+let denial_tags (d : Flow.denial) =
+  match d with
+  | Flow.Secrecy_violation l
+  | Flow.Integrity_violation l
+  | Flow.Unauthorized_add l
+  | Flow.Unauthorized_drop l ->
+      l
+
+let subject_node pid (s : Audit.subject) =
+  match s with
+  | Audit.No_subject -> P.Process pid
+  | Audit.File path -> P.Object path
+  | Audit.Peer peer -> P.Process peer
+  | Audit.Gate _ -> P.Process pid
+
+(* Which way data moved through a checked operation: reads and
+   absorptions pull the subject's taint into the process; writes,
+   sends and grants push the process's taint at the subject. *)
+let inbound_op op =
+  match op with
+  | "fs.read" | "fs.readdir" | "absorb" -> true
+  | _ -> false
+
+let edge_of_entry (e : Audit.entry) : P.edge option =
+  let mk ~kind ~src ~dst ?(tags = []) ?denied ?detail () =
+    Some { P.kind; src; dst; seq = e.Audit.seq; tick = e.Audit.tick;
+           tags; denied; detail }
+  in
+  let self = P.Process e.Audit.pid in
+  match e.Audit.event with
+  | Audit.Tainted { op; subject; added } ->
+      mk ~kind:op ~src:(subject_node e.Audit.pid subject) ~dst:self
+        ~tags:(tag_names added) ()
+  | Audit.Flow_checked { op; src = src_l; decision; subject; _ } ->
+      let denied =
+        match decision with
+        | Ok () -> None
+        | Error d -> Some (Flow.denial_to_string d)
+      in
+      let tags =
+        match decision with
+        | Error d when not (Label.is_empty (denial_tags d)) ->
+            tag_names (denial_tags d)
+        | _ -> tag_names src_l.Flow.secrecy
+      in
+      let other = subject_node e.Audit.pid subject in
+      let src, dst = if inbound_op op then (other, self) else (self, other) in
+      mk ~kind:op ~src ~dst ~tags ?denied ()
+  | Audit.Label_changed { new_labels; decision; _ } ->
+      let denied =
+        match decision with
+        | Ok () -> None
+        | Error d -> Some (Flow.denial_to_string d)
+      in
+      mk ~kind:"relabel" ~src:self ~dst:self
+        ~tags:(tag_names new_labels.Flow.secrecy) ?denied ()
+  | Audit.Export_attempted { destination; labels; decision } ->
+      let denied =
+        match decision with
+        | Ok () -> None
+        | Error d -> Some (Flow.denial_to_string d)
+      in
+      mk ~kind:"export" ~src:self ~dst:(P.Remote destination)
+        ~tags:(tag_names labels.Flow.secrecy) ?denied ()
+  | Audit.Declassified { tag; context } ->
+      mk ~kind:"declassify" ~src:self ~dst:self ~tags:[ Tag.name tag ]
+        ~detail:context ()
+  | Audit.Object_labeled { op; path; labels } ->
+      mk ~kind:op ~src:self ~dst:(P.Object path)
+        ~tags:(tag_names labels.Flow.secrecy) ()
+  | Audit.Sync_applied { peer; path; direction } ->
+      let remote = P.Remote peer and obj = P.Object path in
+      let src, dst =
+        if direction = "push" then (obj, remote) else (remote, obj)
+      in
+      mk ~kind:"sync" ~src ~dst ~detail:direction ()
+  | Audit.Spawned { child; name; labels } ->
+      mk ~kind:"spawn" ~src:self ~dst:(P.Process child)
+        ~tags:(tag_names labels.Flow.secrecy) ~detail:name ()
+  | Audit.Gate_invoked { gate; child } ->
+      mk ~kind:"gate" ~src:self ~dst:(P.Process child) ~detail:gate ()
+  | Audit.Killed _ | Audit.Quota_hit _ | Audit.App_note _ -> None
+
+let graph ?node_budget log =
+  let g = P.create ?node_budget () in
+  Audit.iter log ~f:(fun e ->
+      (match e.Audit.event with
+      | Audit.Spawned { child; name; _ } ->
+          P.set_alias g (P.Process child) name
+      | Audit.Gate_invoked { gate; child } ->
+          P.set_alias g (P.Process child) gate
+      | _ -> ());
+      match edge_of_entry e with
+      | None -> ()
+      | Some edge -> P.add_edge g edge);
+  g
+
+let find_denial log ?seq ?pid () =
+  match seq with
+  | Some s -> (
+      match Audit.query log ~seq_from:s ~seq_to:s () with
+      | [ e ] when Audit.is_denial e -> Some e
+      | _ -> None)
+  | None -> (
+      let denials = Audit.query log ?pid ~denials_only:true () in
+      match List.rev denials with e :: _ -> Some e | [] -> None)
+
+let explain g (entry : Audit.entry) =
+  if not (Audit.is_denial entry) then
+    Error
+      (Printf.sprintf "audit entry #%d is not a denial (%s)" entry.Audit.seq
+         (Audit.event_kind entry.Audit.event))
+  else
+    match P.find_edge g ~seq:entry.Audit.seq with
+    | None ->
+        Error
+          (Printf.sprintf
+             "audit entry #%d has no edge in the provenance graph%s"
+             entry.Audit.seq
+             (if P.truncated g then " (graph truncated at node budget)"
+              else ""))
+    | Some edge -> Ok (P.explain g edge)
+
+let explain_text g entry =
+  Result.map (fun chain -> P.render_chain g chain) (explain g entry)
+
+let explain_dot g entry =
+  Result.map (fun chain -> P.dot_of_chain g chain) (explain g entry)
+
+(* The tags a filesystem object currently carries are the tags of its
+   most recent labeling edge (fs.create / fs.mkdir / fs.relabel):
+   relabels replace the label wholesale, so superseded labelings must
+   not be reported as current. *)
+let current_object_tags g node =
+  let labeling =
+    List.filter
+      (fun (e : P.edge) ->
+        match e.P.kind with
+        | "fs.create" | "fs.mkdir" | "fs.relabel" -> true
+        | _ -> false)
+      (P.incoming g node)
+  in
+  match List.rev labeling with [] -> [] | last :: _ -> last.P.tags
+
+let per_tag_history g node tags =
+  List.map (fun tag -> (tag, P.tag_history g node ~tag))
+    (List.sort_uniq String.compare tags)
+
+let file_provenance g ~path =
+  let node = P.Object path in
+  per_tag_history g node (current_object_tags g node)
+
+(* Replay the pid's label-affecting entries to recover its current
+   secrecy tags: taints add, declassifications subtract, an allowed
+   relabel rewrites the set. *)
+let current_process_tags log ~pid =
+  let module S = Set.Make (String) in
+  let tags = ref S.empty in
+  Audit.iter log ~f:(fun e ->
+      if e.Audit.pid = pid then
+        match e.Audit.event with
+        | Audit.Tainted { added; _ } ->
+            List.iter (fun t -> tags := S.add t !tags) (tag_names added)
+        | Audit.Declassified { tag; _ } -> tags := S.remove (Tag.name tag) !tags
+        | Audit.Label_changed { new_labels; decision = Ok (); _ } ->
+            tags := S.of_list (tag_names new_labels.Flow.secrecy)
+        | _ -> ());
+  S.elements !tags
+
+let process_provenance g log ~pid =
+  per_tag_history g (P.Process pid) (current_process_tags log ~pid)
+
+(* ---- audit-report ---------------------------------------------------- *)
+
+let reason_name (d : Flow.denial) =
+  match d with
+  | Flow.Secrecy_violation _ -> "secrecy_violation"
+  | Flow.Integrity_violation _ -> "integrity_violation"
+  | Flow.Unauthorized_add _ -> "unauthorized_add"
+  | Flow.Unauthorized_drop _ -> "unauthorized_drop"
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+
+(* counts descending, then key ascending: deterministic for goldens *)
+let sorted_counts tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (ka, va) (kb, vb) ->
+         match Int.compare vb va with 0 -> compare ka kb | c -> c)
+
+let report log =
+  let declass = Hashtbl.create 16 in     (* (context, tag) *)
+  let denial_reasons = Hashtbl.create 8 in
+  let denial_ops = Hashtbl.create 16 in
+  let exports = Hashtbl.create 8 in      (* (destination, verdict) *)
+  let app_denials = Hashtbl.create 16 in
+  let tainted_paths = Hashtbl.create 32 in
+  let pid_names = Hashtbl.create 32 in
+  let name_of pid =
+    match Hashtbl.find_opt pid_names pid with
+    | Some n -> n
+    | None -> if pid = 0 then "kernel" else Printf.sprintf "pid %d" pid
+  in
+  let note_denial ~op pid (d : Flow.denial) =
+    bump denial_reasons (reason_name d);
+    bump denial_ops op;
+    bump app_denials (name_of pid)
+  in
+  Audit.iter log ~f:(fun (e : Audit.entry) ->
+      match e.Audit.event with
+      | Audit.Spawned { child; name; _ } -> Hashtbl.replace pid_names child name
+      | Audit.Gate_invoked { gate; child } ->
+          Hashtbl.replace pid_names child gate
+      | Audit.Declassified { tag; context } ->
+          bump declass (context, Tag.name tag)
+      | Audit.Flow_checked { op; decision = Error d; _ } ->
+          note_denial ~op e.Audit.pid d
+      | Audit.Label_changed { decision = Error d; _ } ->
+          note_denial ~op:"relabel" e.Audit.pid d
+      | Audit.Export_attempted { destination; decision; _ } -> (
+          match decision with
+          | Ok () -> bump exports (destination, "allow")
+          | Error d ->
+              bump exports (destination, "deny");
+              note_denial ~op:"export" e.Audit.pid d)
+      | Audit.Tainted { subject = Audit.File path; _ } -> bump tainted_paths path
+      | _ -> ());
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let section title rows render =
+    line "%s" title;
+    if rows = [] then line "  (none)"
+    else List.iter (fun (k, v) -> line "  %s %d" (render k) v) rows
+  in
+  line "W5 audit report (%d entries retained, %d evicted)" (Audit.length log)
+    (Audit.evicted log);
+  line "";
+  section "declassifications (by authority and tag):" (sorted_counts declass)
+    (fun (context, tag) -> Printf.sprintf "%-40s %-24s" context tag);
+  line "";
+  section "denials (by reason):" (sorted_counts denial_reasons)
+    (Printf.sprintf "%-40s");
+  section "denials (by operation):" (sorted_counts denial_ops)
+    (Printf.sprintf "%-40s");
+  section "denials (by process):" (sorted_counts app_denials)
+    (Printf.sprintf "%-40s");
+  line "";
+  section "exports (by destination and verdict):" (sorted_counts exports)
+    (fun (dest, verdict) -> Printf.sprintf "%-40s %-8s" dest verdict);
+  line "";
+  let top_paths =
+    match sorted_counts tainted_paths with
+    | xs when List.length xs > 10 -> List.filteri (fun i _ -> i < 10) xs
+    | xs -> xs
+  in
+  section "most-tainting paths (top 10):" top_paths (Printf.sprintf "%-40s");
+  Buffer.contents buf

@@ -1,0 +1,70 @@
+(** Reconstructing provenance from the audit log (§3.5 "Debugging").
+
+    {!W5_obs.Provenance} is a generic graph; this module is the
+    translation layer that knows the audit event vocabulary. It turns
+    a log into a graph — every tag-moving event becomes an edge whose
+    [seq]/[tick] cite the audit entry it came from — and answers the
+    three questions the paper's debugging story needs:
+
+    + {b explain}: why was this denied? ({!explain})
+    + {b provenance}: how did this tag get onto this file or
+      process? ({!file_provenance}, {!process_provenance})
+    + {b audit-report}: what are the declassifiers and apps doing at
+      the aggregate level? ({!report})
+
+    Everything here is data-free: outputs name pids, paths, tags,
+    destinations and audit sequence numbers, never user bytes. When
+    the log has evicted old entries ({!Audit.evicted}) the graph is a
+    suffix of the truth and chains may stop early; the renderers say
+    so rather than inventing roots. *)
+
+val graph : ?node_budget:int -> Audit.log -> W5_obs.Provenance.t
+(** Build the provenance graph from the retained log, oldest entry
+    first. Processes are aliased to their spawn names (and gate
+    children to their gate names), so renderings read
+    ["pid 7 (mal/thief)"]. [node_budget] is passed through to
+    {!W5_obs.Provenance.create}. *)
+
+val find_denial :
+  Audit.log -> ?seq:int -> ?pid:int -> unit -> Audit.entry option
+(** The denial to explain: the entry at [seq] if given (and actually a
+    denial), otherwise the {e most recent} denial by [pid] if given,
+    otherwise the most recent denial overall. *)
+
+val explain :
+  W5_obs.Provenance.t -> Audit.entry ->
+  (W5_obs.Provenance.edge list, string) result
+(** The causal chain ending at the given denial entry — how the
+    offending tags reached the denied process, oldest edge first, the
+    denial itself last. [Error] when the entry is not a denial or its
+    edge fell outside the graph's node budget. *)
+
+val explain_text : W5_obs.Provenance.t -> Audit.entry -> (string, string) result
+(** {!explain} rendered one edge per line via
+    {!W5_obs.Provenance.render_chain}. *)
+
+val explain_dot : W5_obs.Provenance.t -> Audit.entry -> (string, string) result
+(** The same chain as Graphviz DOT. *)
+
+val file_provenance :
+  W5_obs.Provenance.t -> path:string ->
+  (string * W5_obs.Provenance.edge list) list
+(** Per-tag history for a filesystem object: for each secrecy tag on
+    the file's {e most recent} labeling event (create/relabel), the
+    edges that carried the tag there, oldest first. Tags from
+    superseded labelings are not reported — the file no longer
+    carries them. *)
+
+val process_provenance :
+  W5_obs.Provenance.t -> Audit.log -> pid:int ->
+  (string * W5_obs.Provenance.edge list) list
+(** Per-tag history for a process: its current secrecy tags (replayed
+    from the log: taints add, declassifications and allowed relabels
+    rewrite) each with the edges that introduced them. *)
+
+val report : Audit.log -> string
+(** The provider-side rollup: declassifications by gate and tag,
+    denials by reason and by operation, exports by destination,
+    denials by app, most-tainted paths, and the log's eviction
+    count. Deterministic (counts descending, names ascending) so it
+    can be golden-tested. *)

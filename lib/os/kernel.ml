@@ -157,7 +157,7 @@ let spawn k ?parent ~name ~owner ~labels ~caps ~limits body =
       Queue.add (proc, body) k.pending;
       Metrics.inc k.k_meters.spawns;
       let actor = match parent with Some p -> p.Proc.pid | None -> 0 in
-      record k ~pid:actor (Audit.Spawned { child = pid; name });
+      record k ~pid:actor (Audit.Spawned { child = pid; name; labels });
       Ok proc
 
 let run_proc k proc =

@@ -39,9 +39,9 @@ let traced ctx op f =
 
 let enforcing (ctx : Kernel.ctx) = Kernel.enforcing ctx.kernel
 
-let audit_flow ctx ~op ~src ~dst decision =
+let audit_flow ctx ~op ?(subject = Audit.No_subject) ~src ~dst decision =
   Kernel.record ctx.Kernel.kernel ~pid:(pid ctx)
-    (Audit.Flow_checked { op; src; dst; decision })
+    (Audit.Flow_checked { op; src; dst; decision; subject })
 
 let decision_label = function Ok () -> "allow" | Error _ -> "deny"
 
@@ -60,22 +60,29 @@ let meter_flow ctx ~op ~(src : Flow.labels) decision =
           ("src_secrecy", string_of_int (Label.cardinal src.Flow.secrecy)) ]
 
 (* Flow check helper: returns [Ok ()] when enforcement is off, records
-   the decision in the audit log either way. *)
-let check_flow ctx ~op ~src ~dst =
+   denials in the audit log together with the object the check guarded
+   ([subject]) so a denial can later be traced to a concrete path or
+   peer. *)
+let check_flow ctx ~op ~subject ~src ~dst =
   if not (enforcing ctx) then Ok ()
   else
     let decision = Flow.check_flow src dst in
     meter_flow ctx ~op ~src decision;
     (match decision with
     | Ok () -> ()
-    | Error _ -> audit_flow ctx ~op ~src ~dst decision);
+    | Error _ -> audit_flow ctx ~op ~subject ~src ~dst decision);
     Result.map_error (fun d -> Os_error.Denied d) decision
 
 (* Absorbing someone else's secrecy taint (a tainting read, an IPC
    receive, a gate response) is normally free, but *restricted* tags —
    read protection, §3.1 — require the [t+] capability before they may
    enter the caller's label. *)
-let absorb ctx (incoming : Flow.labels) =
+(* [via] names the operation that caused the absorption and [subject]
+   the object the taint came from; together they give the audit log
+   the causal edge (file -> process, peer -> process) provenance
+   reconstruction walks. *)
+let absorb ctx ?(via = "absorb") ?(subject = Audit.No_subject)
+    (incoming : Flow.labels) =
   let proc = ctx.Kernel.proc in
   let blocked =
     if not (enforcing ctx) then Label.empty
@@ -89,13 +96,19 @@ let absorb ctx (incoming : Flow.labels) =
   in
   if Label.is_empty blocked then begin
     if enforcing ctx then meter_flow ctx ~op:"absorb" ~src:incoming (Ok ());
+    let added =
+      Label.diff incoming.Flow.secrecy proc.Proc.labels.Flow.secrecy
+    in
     proc.Proc.labels <- Flow.join proc.Proc.labels incoming;
+    if not (Label.is_empty added) then
+      Kernel.record ctx.Kernel.kernel ~pid:proc.Proc.pid
+        (Audit.Tainted { op = via; subject; added });
     Ok ()
   end
   else begin
     meter_flow ctx ~op:"absorb" ~src:incoming
       (Error (Flow.Unauthorized_add blocked));
-    audit_flow ctx ~op:"absorb" ~src:incoming ~dst:proc.Proc.labels
+    audit_flow ctx ~op:"absorb" ~subject ~src:incoming ~dst:proc.Proc.labels
       (Error (Flow.Unauthorized_add blocked));
     Error (Os_error.Denied (Flow.Unauthorized_add blocked))
   end
@@ -104,7 +117,7 @@ let absorb ctx (incoming : Flow.labels) =
 
 let absorb_labels ctx incoming =
   enter ctx "label.absorb";
-  absorb ctx incoming
+  absorb ctx ~via:"label.absorb" incoming
 
 let create_tag ctx ?name ?restricted kind =
   enter ctx "tag.create";
@@ -174,11 +187,11 @@ let add_taint ctx taint =
   enter ctx "label.taint";
   (* self-tainting only raises secrecy; it says nothing about (and
      must not erode) the caller's integrity *)
-  absorb ctx
+  absorb ctx ~via:"label.taint"
     (Flow.make ~secrecy:taint
        ~integrity:ctx.Kernel.proc.Proc.labels.Flow.integrity ())
 
-let declassify_self ctx tag =
+let declassify_self ctx ?(context = "self") tag =
   enter ctx "label.declassify";
   let proc = ctx.Kernel.proc in
   if enforcing ctx && not (Capability.Set.can_drop tag proc.Proc.caps) then
@@ -190,7 +203,7 @@ let declassify_self ctx tag =
         Flow.secrecy = Label.remove tag proc.Proc.labels.Flow.secrecy;
       };
     Kernel.record ctx.Kernel.kernel ~pid:proc.Proc.pid
-      (Audit.Declassified { tag; context = "self" });
+      (Audit.Declassified { tag; context });
     Ok ()
   end
 
@@ -230,8 +243,8 @@ let grant_cap ctx ~to_ cap =
         Error (Os_error.Dead_process to_)
     | Some target -> (
         match
-          check_flow ctx ~op:"cap.grant" ~src:proc.Proc.labels
-            ~dst:target.Proc.labels
+          check_flow ctx ~op:"cap.grant" ~subject:(Audit.Peer to_)
+            ~src:proc.Proc.labels ~dst:target.Proc.labels
         with
         | Error _ as e -> e
         | Ok () ->
@@ -256,16 +269,23 @@ let mkdir ctx path ~labels =
   | Error _ as e -> e
   | Ok parent -> (
       match
-        check_flow ctx ~op:"fs.mkdir" ~src:proc.Proc.labels ~dst:parent
+        check_flow ctx ~op:"fs.mkdir" ~subject:(Audit.File path)
+          ~src:proc.Proc.labels ~dst:parent
       with
       | Error _ as e -> e
       | Ok () -> (
           match
-            check_flow ctx ~op:"fs.mkdir.labels" ~src:proc.Proc.labels
-              ~dst:labels
+            check_flow ctx ~op:"fs.mkdir.labels" ~subject:(Audit.File path)
+              ~src:proc.Proc.labels ~dst:labels
           with
           | Error _ as e -> e
-          | Ok () -> Fs.mkdir (fs ctx) path ~labels))
+          | Ok () -> (
+              match Fs.mkdir (fs ctx) path ~labels with
+              | Error _ as e -> e
+              | Ok () ->
+                  Kernel.record ctx.Kernel.kernel ~pid:proc.Proc.pid
+                    (Audit.Object_labeled { op = "fs.mkdir"; path; labels });
+                  Ok ())))
 
 let create_file ctx path ~labels ~data =
   traced ctx "fs.create" @@ fun () ->
@@ -277,16 +297,23 @@ let create_file ctx path ~labels ~data =
   | Error _ as e -> e
   | Ok parent -> (
       match
-        check_flow ctx ~op:"fs.create" ~src:proc.Proc.labels ~dst:parent
+        check_flow ctx ~op:"fs.create" ~subject:(Audit.File path)
+          ~src:proc.Proc.labels ~dst:parent
       with
       | Error _ as e -> e
       | Ok () -> (
           match
-            check_flow ctx ~op:"fs.create.labels" ~src:proc.Proc.labels
-              ~dst:labels
+            check_flow ctx ~op:"fs.create.labels" ~subject:(Audit.File path)
+              ~src:proc.Proc.labels ~dst:labels
           with
           | Error _ as e -> e
-          | Ok () -> Fs.create_file (fs ctx) path ~labels ~data))
+          | Ok () -> (
+              match Fs.create_file (fs ctx) path ~labels ~data with
+              | Error _ as e -> e
+              | Ok () ->
+                  Kernel.record ctx.Kernel.kernel ~pid:proc.Proc.pid
+                    (Audit.Object_labeled { op = "fs.create"; path; labels });
+                  Ok ())))
 
 let read_file ctx path =
   traced ctx "fs.read" @@ fun () ->
@@ -311,7 +338,8 @@ let read_file ctx path =
             }
           in
           match
-            check_flow ctx ~op:"fs.read" ~src ~dst:proc.Proc.labels
+            check_flow ctx ~op:"fs.read" ~subject:(Audit.File path) ~src
+              ~dst:proc.Proc.labels
           with
           | Error _ as e -> e
           | Ok () ->
@@ -337,7 +365,10 @@ let read_file_taint ctx path =
               integrity = labels.Flow.integrity;
             }
           in
-          match absorb ctx incoming with
+          match
+            absorb ctx ~via:"fs.read_taint" ~subject:(Audit.File path)
+              incoming
+          with
           | Error _ as e -> e
           | Ok () ->
               charge ctx Resource.Memory (String.length data);
@@ -347,7 +378,9 @@ let write_check ctx ~op path =
   let proc = ctx.Kernel.proc in
   match Fs.stat (fs ctx) path with
   | Error _ as e -> e
-  | Ok st -> check_flow ctx ~op ~src:proc.Proc.labels ~dst:st.Fs.labels
+  | Ok st ->
+      check_flow ctx ~op ~subject:(Audit.File path) ~src:proc.Proc.labels
+        ~dst:st.Fs.labels
 
 let write_file ctx path ~data =
   traced ctx "fs.write" @@ fun () ->
@@ -372,7 +405,8 @@ let unlink ctx path =
   | Error _ as e -> e
   | Ok parent -> (
       match
-        check_flow ctx ~op:"fs.unlink.dir" ~src:proc.Proc.labels ~dst:parent
+        check_flow ctx ~op:"fs.unlink.dir" ~subject:(Audit.File path)
+          ~src:proc.Proc.labels ~dst:parent
       with
       | Error _ as e -> e
       | Ok () -> (
@@ -388,7 +422,9 @@ let rename ctx ~src ~dst =
   let parent_check label path =
     match Fs.parent_labels (fs ctx) path with
     | Error _ as e -> e
-    | Ok parent -> check_flow ctx ~op:label ~src:proc.Proc.labels ~dst:parent
+    | Ok parent ->
+        check_flow ctx ~op:label ~subject:(Audit.File path)
+          ~src:proc.Proc.labels ~dst:parent
   in
   match parent_check "fs.rename.src" src with
   | Error _ as e -> e
@@ -407,8 +443,8 @@ let set_file_labels ctx path ~labels =
   | Error _ as e -> e
   | Ok st -> (
       match
-        check_flow ctx ~op:"fs.relabel" ~src:proc.Proc.labels
-          ~dst:st.Fs.labels
+        check_flow ctx ~op:"fs.relabel" ~subject:(Audit.File path)
+          ~src:proc.Proc.labels ~dst:st.Fs.labels
       with
       | Error _ as e -> e
       | Ok () ->
@@ -426,7 +462,13 @@ let set_file_labels ctx path ~labels =
                    { old_labels = st.Fs.labels; new_labels = labels; decision }));
           (match decision with
           | Error d -> Error (Os_error.Denied d)
-          | Ok () -> Fs.set_labels (fs ctx) path ~labels))
+          | Ok () -> (
+              match Fs.set_labels (fs ctx) path ~labels with
+              | Error _ as e -> e
+              | Ok () ->
+                  Kernel.record ctx.Kernel.kernel ~pid:proc.Proc.pid
+                    (Audit.Object_labeled { op = "fs.relabel"; path; labels });
+                  Ok ())))
 
 let readdir ctx path =
   traced ctx "fs.readdir" @@ fun () ->
@@ -438,7 +480,10 @@ let readdir ctx path =
       let src =
         { labels with Flow.integrity = proc.Proc.labels.Flow.integrity }
       in
-      match check_flow ctx ~op:"fs.readdir" ~src ~dst:proc.Proc.labels with
+      match
+        check_flow ctx ~op:"fs.readdir" ~subject:(Audit.File path) ~src
+          ~dst:proc.Proc.labels
+      with
       | Error _ as e -> e
       | Ok () -> Ok names)
 
@@ -488,8 +533,8 @@ let send ctx ~to_ ?(grant = Capability.Set.empty) ?(use_caps = false) body =
           else (Label.empty, proc.Proc.labels)
         in
         match
-          check_flow ctx ~op:"ipc.send" ~src:effective_labels
-            ~dst:target.Proc.labels
+          check_flow ctx ~op:"ipc.send" ~subject:(Audit.Peer to_)
+            ~src:effective_labels ~dst:target.Proc.labels
         with
         | Error _ as e -> e
         | Ok () ->
@@ -517,7 +562,10 @@ let recv ctx =
   | Some msg -> (
       (* A message the receiver may not absorb is dropped, not
          re-queued: a blocked head must not wedge the mailbox. *)
-      match absorb ctx msg.Proc.msg_labels with
+      match
+        absorb ctx ~via:"ipc.recv" ~subject:(Audit.Peer msg.Proc.sender)
+          msg.Proc.msg_labels
+      with
       | Error _ as e -> e
       | Ok () ->
           charge ctx Resource.Memory (String.length msg.Proc.body);
@@ -545,7 +593,10 @@ let invoke_gate ctx name ~arg =
       | None -> Ok None
       | Some (data, labels) -> (
           (* The answer flows back: absorb its secrecy taint. *)
-          match absorb ctx labels with
+          match
+            absorb ctx ~via:"gate.invoke"
+              ~subject:(Audit.Peer child.Proc.pid) labels
+          with
           | Error _ as e -> e
           | Ok () ->
               charge ctx Resource.Memory (String.length data);

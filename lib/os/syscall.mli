@@ -53,8 +53,11 @@ val absorb_labels : Kernel.ctx -> Flow.labels -> unit r
     query layer uses this to pre-absorb a collection's label summary
     so indexed and scanning evaluations taint identically. *)
 
-val declassify_self : Kernel.ctx -> Tag.t -> unit r
-(** Drop one secrecy tag from the caller's label; requires [t-]. *)
+val declassify_self : Kernel.ctx -> ?context:string -> Tag.t -> unit r
+(** Drop one secrecy tag from the caller's label; requires [t-].
+    [context] (default ["self"]) names the authority in the audit
+    record — declassifier gates and the federation layer pass their
+    own names so audit reports can attribute every drop. *)
 
 val endorse_self : Kernel.ctx -> Tag.t -> unit r
 (** Add one integrity tag to the caller's label; requires [t+]. *)

@@ -61,7 +61,8 @@ let collect platform =
           | Some app -> bump kills_by_app app
           | None -> ())
       | Audit.Flow_checked _ | Audit.Label_changed _
-      | Audit.Export_attempted _ | Audit.Declassified _ | Audit.Gate_invoked _
+      | Audit.Export_attempted _ | Audit.Declassified _ | Audit.Tainted _
+      | Audit.Object_labeled _ | Audit.Sync_applied _ | Audit.Gate_invoked _
       | Audit.Killed _ | Audit.App_note _ ->
           ());
   let per_app =

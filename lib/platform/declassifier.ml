@@ -52,7 +52,8 @@ let install platform ~account ~name logic =
         | None -> () (* refusal: no response at all *)
         | Some out ->
             List.iter
-              (fun tag -> ignore (Syscall.declassify_self ctx tag))
+              (fun tag ->
+                ignore (Syscall.declassify_self ctx ~context:gate tag))
               (owner_secrecy_tags account);
             ignore (Syscall.respond ctx out))
   in

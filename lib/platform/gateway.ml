@@ -128,7 +128,10 @@ let dispatch_app platform ~viewer ~app_id ?version request =
                 Response.server_error "application error (see /audit)"
           | _, None -> Response.server_error "application sent no response"
           | _, Some (data, labels) -> (
-              match Perimeter.export platform ~viewer ~data ~labels with
+              match
+                Perimeter.export platform ~source:proc.Proc.pid ~viewer ~data
+                  ~labels ()
+              with
               | Error refusal ->
                   Response.forbidden (Perimeter.refusal_to_string refusal)
               | Ok out ->
@@ -387,7 +390,19 @@ let handle_me platform request =
            (Html.element "h1" (Html.text account.Account.user) ^ Html.ul rows)))
 
 let handle_audit platform request =
-  let entries = Audit.denials (Kernel.audit (Platform.kernel platform)) in
+  let int_param name =
+    Option.bind (Request.param request name) int_of_string_opt
+  in
+  (* structured filters ride the indexed query path:
+     /audit?pid=7&kind=flow_checked&from=10&to=99 *)
+  let entries =
+    Audit.query
+      (Kernel.audit (Platform.kernel platform))
+      ?pid:(int_param "pid")
+      ?kind:(Request.param request "kind")
+      ?seq_from:(int_param "from") ?seq_to:(int_param "to")
+      ~denials_only:true ()
+  in
   let lines =
     List.map (fun e -> Format.asprintf "%a" Audit.pp_entry e) entries
   in

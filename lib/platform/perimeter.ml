@@ -54,7 +54,7 @@ let clear_tag platform ~viewer ~tag ~gate (data, labels) =
         Error (Refused_by { tag; gate })
       else Ok (out, out_labels)
 
-let export platform ~viewer ~data ~labels =
+let export platform ?(source = 0) ~viewer ~data ~labels () =
   let kernel = Platform.kernel platform in
   let destination =
     match viewer with
@@ -76,7 +76,7 @@ let export platform ~viewer ~data ~labels =
           ("secrecy", string_of_int (Label.cardinal labels.Flow.secrecy));
         ]
       "perimeter.export";
-    Kernel.record kernel ~pid:0
+    Kernel.record kernel ~pid:source
       (Audit.Export_attempted { destination; labels; decision })
   in
   let rec clear_all (data, current_labels) budget =

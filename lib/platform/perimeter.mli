@@ -31,9 +31,12 @@ val pp_refusal : Format.formatter -> refusal -> unit
 val refusal_to_string : refusal -> string
 
 val export :
-  Platform.t -> viewer:Account.t option -> data:string ->
-  labels:Flow.labels -> (string, refusal) result
+  Platform.t -> ?source:int -> viewer:Account.t option -> data:string ->
+  labels:Flow.labels -> unit -> (string, refusal) result
 (** Push a labeled payload through the perimeter toward [viewer]
     (None = an unauthenticated client). On success the returned
     payload is exactly what crosses the wire — declassifiers may have
-    transformed it. *)
+    transformed it. [source] (default 0, the kernel) is the pid whose
+    response is being exported; the audit record carries it so a
+    denial can be traced back to the process that accumulated the
+    taint. *)

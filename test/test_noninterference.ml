@@ -303,7 +303,7 @@ let prop_perimeter_matches_semantics =
         && allowed_for "bobby" (List.nth subsets friends_b) bob taint_b
       in
       let actual =
-        match Perimeter.export platform ~viewer ~data:"payload" ~labels with
+        match Perimeter.export platform ~viewer ~data:"payload" ~labels () with
         | Ok _ -> true
         | Error _ -> false
       in

@@ -166,6 +166,52 @@ let test_tracer_disabled_and_ring () =
     "ring keeps the newest" [ "two"; "three" ]
     (List.map (fun (s : Span.t) -> s.Span.span_name) (Tracer.traces tr))
 
+let test_tracer_dropped_counter () =
+  let tr = Tracer.create ~enabled:true ~capacity:2 () in
+  check int_c "fresh tracer dropped nothing" 0 (Tracer.dropped tr);
+  List.iter
+    (fun name ->
+      Tracer.start_span tr ~tick:0 name;
+      Tracer.end_span tr ~tick:1)
+    [ "one"; "two"; "three"; "four" ];
+  check int_c "evictions counted" 2 (Tracer.dropped tr);
+  check bool_c "traces exposition reports the drops" true
+    (contains (Exposition.traces tr) "(2 older traces dropped)");
+  Tracer.clear tr;
+  check int_c "clear resets the counter" 0 (Tracer.dropped tr);
+  check bool_c "no notice once cleared" false
+    (contains (Exposition.traces tr) "dropped")
+
+let test_unbalanced_end_span () =
+  let tr = Tracer.create ~enabled:true () in
+  (* closing with nothing open is a no-op, not a crash or a trace *)
+  Tracer.end_span tr ~tick:5;
+  check int_c "still nothing open" 0 (Tracer.open_depth tr);
+  check int_c "nothing committed" 0 (List.length (Tracer.traces tr));
+  (* and it does not poison later, balanced use *)
+  Tracer.start_span tr ~tick:6 "real";
+  Tracer.end_span tr ~tick:7;
+  Tracer.end_span tr ~tick:8;
+  check int_c "balanced span still commits" 1 (List.length (Tracer.traces tr))
+
+let test_with_span_nested_exception () =
+  let tr = Tracer.create ~enabled:true () in
+  let clock = let t = ref 0 in fun () -> incr t; !t in
+  (try
+     Tracer.with_span tr ~clock "root" (fun () ->
+         Tracer.with_span tr ~clock "inner" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  check int_c "both spans closed" 0 (Tracer.open_depth tr);
+  (match Tracer.traces tr with
+  | [ root ] ->
+      check string_c "root committed" "root" root.Span.span_name;
+      check int_c "inner recorded under root" 1
+        (List.length root.Span.children)
+  | l -> Alcotest.failf "expected exactly the root trace, got %d" (List.length l));
+  (* the tracer is reusable after the exception unwound through it *)
+  Tracer.with_span tr ~clock "after" (fun () -> ());
+  check int_c "subsequent trace commits" 2 (List.length (Tracer.traces tr))
+
 (* ---- exposition goldens ---- *)
 
 let golden_registry () =
@@ -277,6 +323,39 @@ let test_no_user_bytes_in_telemetry () =
       ("prometheus", Exposition.prometheus metrics);
       ("json", Exposition.json metrics);
       ("traces", Exposition.traces tracer);
+    ];
+  (* the provenance/explanation layer reads the same audit log — its
+     renderings must be equally payload-free *)
+  let log = W5_os.Kernel.audit kernel in
+  let g = W5_os.Explain.graph log in
+  let explain_text, explain_dot =
+    match W5_os.Explain.find_denial log () with
+    | None -> ("", "")
+    | Some entry ->
+        ( (match W5_os.Explain.explain_text g entry with
+          | Ok s -> s
+          | Error e -> e),
+          match W5_os.Explain.explain_dot g entry with
+          | Ok s -> s
+          | Error e -> e )
+  in
+  let provenance_render =
+    String.concat "\n"
+      (List.concat_map
+         (fun (tag, edges) ->
+           tag :: List.map (Provenance.render_edge g) edges)
+         (W5_os.Explain.file_provenance g
+            ~path:(Platform.user_file u0 "profile")))
+  in
+  List.iter
+    (fun (name, rendered) ->
+      check bool_c (name ^ " is payload-free") false (contains rendered canary))
+    [
+      ("explain text", explain_text);
+      ("explain dot", explain_dot);
+      ("whole-graph dot", Provenance.to_dot g);
+      ("file provenance", provenance_render);
+      ("audit report", W5_os.Explain.report log);
     ]
 
 (* ---- kernel wiring: syscalls and flow checks actually meter ---- *)
@@ -363,6 +442,12 @@ let suite =
       test_span_exception_safety;
     Alcotest.test_case "tracer disabled + ring" `Quick
       test_tracer_disabled_and_ring;
+    Alcotest.test_case "tracer dropped counter" `Quick
+      test_tracer_dropped_counter;
+    Alcotest.test_case "unbalanced end_span is a no-op" `Quick
+      test_unbalanced_end_span;
+    Alcotest.test_case "with_span nested exception" `Quick
+      test_with_span_nested_exception;
     Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
     Alcotest.test_case "json golden" `Quick test_json_golden;
     Alcotest.test_case "trace tree golden" `Quick test_trace_tree_golden;

@@ -256,17 +256,17 @@ let test_perimeter_boilerplate () =
   let bob = signup platform "bob" in
   let labels = Flow.make ~secrecy:(Label.singleton alice.Account.secret_tag) () in
   (* to the owner: allowed *)
-  (match Perimeter.export platform ~viewer:(Some alice) ~data:"d" ~labels with
+  (match Perimeter.export platform ~viewer:(Some alice) ~data:"d" ~labels () with
   | Ok out -> check string_c "owner gets data" "d" out
   | Error r -> Alcotest.failf "refused: %s" (Perimeter.refusal_to_string r));
   (* to anyone else: refused with No_rule *)
-  (match Perimeter.export platform ~viewer:(Some bob) ~data:"d" ~labels with
+  (match Perimeter.export platform ~viewer:(Some bob) ~data:"d" ~labels () with
   | Error (Perimeter.No_rule tag) ->
       check bool_c "names tag" true (Tag.equal tag alice.Account.secret_tag)
   | Ok _ -> Alcotest.fail "leaked"
   | Error r -> Alcotest.failf "wrong refusal: %s" (Perimeter.refusal_to_string r));
   (* anonymous: refused *)
-  match Perimeter.export platform ~viewer:None ~data:"d" ~labels with
+  match Perimeter.export platform ~viewer:None ~data:"d" ~labels () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "leaked to anonymous"
 
@@ -293,12 +293,12 @@ let test_perimeter_commingled_tags () =
       ()
   in
   (* carol is approved by both declassifiers *)
-  (match Perimeter.export platform ~viewer:(Some carol) ~data:"mix" ~labels with
+  (match Perimeter.export platform ~viewer:(Some carol) ~data:"mix" ~labels () with
   | Ok out -> check string_c "both cleared" "mix" out
   | Error r -> Alcotest.failf "refused: %s" (Perimeter.refusal_to_string r));
   (* a stranger fails on whichever tag comes first *)
   let mallory = signup platform "mallory" in
-  match Perimeter.export platform ~viewer:(Some mallory) ~data:"mix" ~labels with
+  match Perimeter.export platform ~viewer:(Some mallory) ~data:"mix" ~labels () with
   | Error (Perimeter.Refused_by _) -> ()
   | Ok _ -> Alcotest.fail "leaked commingled data"
   | Error r -> Alcotest.failf "wrong refusal: %s" (Perimeter.refusal_to_string r)
@@ -309,7 +309,7 @@ let test_perimeter_unknown_tag () =
   let stray = Tag.fresh ~name:"stray" Tag.Secrecy in
   match
     Perimeter.export platform ~viewer:(Some viewer) ~data:"d"
-      ~labels:(Flow.make ~secrecy:(Label.singleton stray) ())
+      ~labels:(Flow.make ~secrecy:(Label.singleton stray) ()) ()
   with
   | Error (Perimeter.Unknown_tag _) -> ()
   | Ok _ -> Alcotest.fail "leaked unowned tag"
@@ -542,7 +542,7 @@ let test_perimeter_misbehaving_gate_budget () =
   let viewer = signup platform "viewer" in
   match
     Perimeter.export platform ~viewer:(Some viewer) ~data:"d"
-      ~labels:(Flow.make ~secrecy:(Label.singleton tag) ())
+      ~labels:(Flow.make ~secrecy:(Label.singleton tag) ()) ()
   with
   | Error (Perimeter.Refused_by { gate; _ }) ->
       check string_c "names the gate" "bad-gate" gate
@@ -560,7 +560,7 @@ let test_perimeter_transforming_gate () =
   let viewer = signup platform "viewer" in
   match
     Perimeter.export platform ~viewer:(Some viewer) ~data:"content"
-      ~labels:(Flow.make ~secrecy:(Label.singleton alice.Account.secret_tag) ())
+      ~labels:(Flow.make ~secrecy:(Label.singleton alice.Account.secret_tag) ()) ()
   with
   | Ok out -> check string_c "transformed" "content [exported]" out
   | Error r -> Alcotest.failf "refused: %s" (Perimeter.refusal_to_string r)
@@ -573,12 +573,12 @@ let test_perimeter_revocation () =
        Declassifier.everyone);
   let viewer = signup platform "viewer" in
   let labels = Flow.make ~secrecy:(Label.singleton alice.Account.secret_tag) () in
-  (match Perimeter.export platform ~viewer:(Some viewer) ~data:"d" ~labels with
+  (match Perimeter.export platform ~viewer:(Some viewer) ~data:"d" ~labels () with
   | Ok _ -> ()
   | Error r -> Alcotest.failf "refused: %s" (Perimeter.refusal_to_string r));
   (* alice changes her mind: rule revoked, exports stop immediately *)
   Policy.revoke_declassifier alice.Account.policy ~tag:alice.Account.secret_tag;
-  match Perimeter.export platform ~viewer:(Some viewer) ~data:"d" ~labels with
+  match Perimeter.export platform ~viewer:(Some viewer) ~data:"d" ~labels () with
   | Error (Perimeter.No_rule _) -> ()
   | Ok _ -> Alcotest.fail "revocation ignored"
   | Error r -> Alcotest.failf "wrong refusal: %s" (Perimeter.refusal_to_string r)
@@ -1071,14 +1071,14 @@ let test_stale_gate_cannot_clear_new_read_tag () =
   let labels =
     Flow.make ~secrecy:(Label.of_list [ alice.Account.secret_tag; rt ]) ()
   in
-  (match Perimeter.export platform ~viewer:(Some viewer) ~data:"d" ~labels with
+  (match Perimeter.export platform ~viewer:(Some viewer) ~data:"d" ~labels () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "stale gate cleared a tag it has no capability for");
   (* reinstalling fixes it *)
   ignore
     (Declassifier.install_and_authorize platform ~account:alice ~name:"open"
        Declassifier.everyone);
-  match Perimeter.export platform ~viewer:(Some viewer) ~data:"d" ~labels with
+  match Perimeter.export platform ~viewer:(Some viewer) ~data:"d" ~labels () with
   | Ok out -> check string_c "fresh gate works" "d" out
   | Error r -> Alcotest.failf "refused: %s" (Perimeter.refusal_to_string r)
 

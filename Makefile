@@ -11,12 +11,13 @@ test:
 	dune runtest
 
 # What CI runs (.github/workflows/ci.yml): the full build, the tier-1
-# test suite, one smoke iteration of the provenance bench group, and
-# an `explain` pass over the scripted breach (the flight recorder must
-# always be able to narrate a denial).
+# test suite, smoke iterations of the provenance and federation-faults
+# bench groups, and an `explain` pass over the scripted breach (the
+# flight recorder must always be able to narrate a denial).
 check:
 	dune build @all && dune runtest
 	dune exec bench/main.exe -- --only provenance --smoke
+	dune exec bench/main.exe -- --only federation-faults --smoke
 	dune exec bin/w5.exe -- explain > /dev/null
 
 bench:

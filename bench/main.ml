@@ -19,6 +19,8 @@
    - pagerank                : code-search ranking cost and
      convergence (E5);
    - federation-sync         : steady-state and one-update sync (E6);
+   - federation-faults       : convergence cost vs message drop rate
+     under seeded fault injection (retries + backoff);
    - syscall                 : raw kernel-crossing costs under quota
      accounting (E7);
    - client-filter           : the perimeter JavaScript filter (E9).
@@ -561,6 +563,73 @@ let bench_federation =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* federation-faults: convergence cost vs message drop rate            *)
+(* ------------------------------------------------------------------ *)
+
+let faulty_link, faulty_side_a =
+  let a =
+    { W5_federation.Sync.platform = Platform.create (); provider_name = "fa" }
+  in
+  let b =
+    { W5_federation.Sync.platform = Platform.create (); provider_name = "fb" }
+  in
+  List.iter
+    (fun (side : W5_federation.Sync.side) ->
+      match
+        Platform.signup side.W5_federation.Sync.platform ~user:"zoe"
+          ~password:"pw"
+      with
+      | Ok _ -> ()
+      | Error e -> failwith e)
+    [ a; b ];
+  match
+    W5_federation.Sync.establish ~a ~b ~user:"zoe" ~files:[ "profile" ] ()
+  with
+  | Ok link ->
+      ignore (W5_federation.Sync.sync link);
+      (link, a)
+  | Error e -> failwith e
+
+let faulty_counter = ref 0
+
+(* One measured unit: an edit on side A driven to convergence under a
+   fresh seeded plan with [drops] message losses (no crashes — wall
+   time under retries/backoff is the question here). The seed comes
+   from a counter so every iteration faces a different but
+   reproducible schedule. *)
+let converge_under_drops ~drops () =
+  incr faulty_counter;
+  W5_federation.Sync.set_faults faulty_link
+    (W5_fault.Fault.of_seed ~drops ~delays:0 ~duplicates:0 ~crashes:0
+       ~seed:!faulty_counter ());
+  let account =
+    Platform.account_exn faulty_side_a.W5_federation.Sync.platform "zoe"
+  in
+  ignore
+    (Platform.write_user_record faulty_side_a.W5_federation.Sync.platform
+       account ~file:"profile"
+       (W5_store.Record.of_fields
+          [ ("user", "zoe"); ("rev", string_of_int !faulty_counter) ]));
+  let rec go n =
+    if n > 0 && not (W5_federation.Sync.converged faulty_link) then begin
+      ignore (W5_federation.Sync.sync faulty_link);
+      go (n - 1)
+    end
+  in
+  go 10
+
+let bench_federation_faults =
+  Test.make_grouped ~name:"federation-faults"
+    [
+      Test.make ~name:"converge-drops-0"
+        (staged (converge_under_drops ~drops:0));
+      Test.make ~name:"converge-drops-2"
+        (staged (converge_under_drops ~drops:2));
+      Test.make ~name:"converge-drops-6"
+        (staged (converge_under_drops ~drops:6));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* portability: whole-account export (E19)                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -939,6 +1008,7 @@ let groups =
     bench_durability;
     bench_scaling;
     bench_federation;
+    bench_federation_faults;
     bench_portability;
     bench_syscall;
     bench_metrics;

@@ -285,37 +285,80 @@ let rank_cmd =
 
 (* ---- w5 sync: two providers converging ---- *)
 
-let sync_demo rounds =
-  let a = { W5_federation.Sync.platform = Platform.create (); provider_name = "east" } in
-  let b = { W5_federation.Sync.platform = Platform.create (); provider_name = "west" } in
+let sync_demo rounds fault_seed =
+  let module Sync = W5_federation.Sync in
+  let module Fault = W5_fault.Fault in
+  let a = { Sync.platform = Platform.create (); provider_name = "east" } in
+  let b = { Sync.platform = Platform.create (); provider_name = "west" } in
   let ok_s = function Ok v -> v | Error e -> failwith e in
-  ignore (ok_s (Platform.signup a.W5_federation.Sync.platform ~user:"zoe" ~password:"pw"));
-  ignore (ok_s (Platform.signup b.W5_federation.Sync.platform ~user:"zoe" ~password:"pw"));
+  ignore (ok_s (Platform.signup a.Sync.platform ~user:"zoe" ~password:"pw"));
+  ignore (ok_s (Platform.signup b.Sync.platform ~user:"zoe" ~password:"pw"));
+  let faults = Option.map (fun seed -> Fault.of_seed ~seed ()) fault_seed in
+  (match faults with
+  | Some plan -> Printf.printf "fault plan: %s\n" (Fault.describe plan)
+  | None -> ());
   let link =
-    ok_s (W5_federation.Sync.establish ~a ~b ~user:"zoe" ~files:[ "profile"; "friends" ] ())
+    ok_s (Sync.establish ?faults ~a ~b ~user:"zoe" ~files:[ "profile"; "friends" ] ())
   in
   for round = 1 to rounds do
     let side, name = if round mod 2 = 0 then (a, "east") else (b, "west") in
-    let account = Platform.account_exn side.W5_federation.Sync.platform "zoe" in
+    let account = Platform.account_exn side.Sync.platform "zoe" in
     ignore
-      (Platform.write_user_record side.W5_federation.Sync.platform account
+      (Platform.write_user_record side.Sync.platform account
          ~file:"profile"
          (W5_store.Record.of_fields
             [ ("user", "zoe"); ("edited-on", name); ("round", string_of_int round) ]));
-    let stats = ok_s (W5_federation.Sync.sync link) in
-    Printf.printf
-      "round %2d: edit on %-4s | a->b %d, b->a %d, merged %d, converged %b\n"
-      round name stats.W5_federation.Sync.a_to_b stats.W5_federation.Sync.b_to_a
-      stats.W5_federation.Sync.merged
-      (W5_federation.Sync.converged link)
+    match Sync.sync link with
+    | Ok stats ->
+        Printf.printf
+          "round %2d: edit on %-4s | a->b %d, b->a %d, merged %d, retried %d, \
+           timed-out %d, recovered %d, converged %b\n"
+          round name stats.Sync.a_to_b stats.Sync.b_to_a stats.Sync.merged
+          stats.Sync.retried stats.Sync.timed_out stats.Sync.recovered
+          (Sync.converged link)
+    | Error e ->
+        (* a simulated provider death: the next round is the restart
+           and begins with write-ahead intent recovery *)
+        Printf.printf "round %2d: edit on %-4s | provider crashed (%s)\n" round
+          name e
   done;
+  (* drain the remaining schedule so the demo always ends converged *)
+  let rec settle n =
+    if n > 0 && not (Sync.converged link) then begin
+      (match Sync.sync link with
+      | Ok stats ->
+          if stats.Sync.recovered > 0 then
+            Printf.printf "recovery: replayed %d write-ahead intent(s)\n"
+              stats.Sync.recovered
+      | Error e -> Printf.printf "recovery round: crashed again (%s)\n" e);
+      settle (n - 1)
+    end
+  in
+  settle 10;
+  (match faults with
+  | Some plan ->
+      let rendered = Fault.render_fired plan in
+      if rendered <> "" then print_endline rendered;
+      Printf.printf "faults fired: %d, schedule left: %d\n"
+        (List.length (Fault.fired plan))
+        (Fault.pending plan)
+  | None -> ());
+  Printf.printf "final: converged %b\n" (Sync.converged link);
   `Ok ()
 
 let sync_cmd =
   let rounds =
     Arg.(value & opt int 6 & info [ "rounds" ] ~docv:"N" ~doc:"Edit/sync rounds.")
   in
-  let term = Term.(ret (const sync_demo $ rounds)) in
+  let faults =
+    Arg.(value & opt (some int) None
+         & info [ "faults" ] ~docv:"SEED"
+             ~doc:
+               "Inject a deterministic fault schedule (drops, delays, \
+                duplicates, crashes) derived from $(docv). The same seed \
+                replays the same run byte for byte.")
+  in
+  let term = Term.(ret (const sync_demo $ rounds $ faults)) in
   Cmd.v
     (Cmd.info "sync" ~doc:"Demonstrate cross-provider mirroring (E6).")
     term

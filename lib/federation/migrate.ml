@@ -1,6 +1,7 @@
 open W5_difc
 open W5_os
 open W5_platform
+module Fault = W5_fault.Fault
 
 type entry = {
   rel_path : string;
@@ -27,7 +28,25 @@ let transfer_caps (account : Account.t) =
       else caps)
     Capability.Set.empty tags
 
-let export_bundle platform (account : Account.t) =
+(* Consult [faults] at [op]:[file] outside any syscall context (a
+   crash must surface as an error to the caller, not be swallowed by
+   with_ctx): Drop retries [attempt] up to 3 times, a crash aborts,
+   delays and duplicates fall through to the idempotent operation. *)
+let rec faulty ?faults ~op ~file attempt =
+  match faults with
+  | None -> Ok ()
+  | Some plan -> (
+      match Fault.consult plan ~op ~file with
+      | None | Some (Fault.Delay _) | Some Fault.Duplicate -> Ok ()
+      | Some Fault.Drop when attempt < 3 -> faulty ?faults ~op ~file (attempt + 1)
+      | Some Fault.Drop -> Error (Os_error.Invalid (op ^ " " ^ file ^ ": lost"))
+      | Some (Fault.Crash_before_apply | Fault.Crash_after_apply) ->
+          Error (Os_error.Invalid ("crash: " ^ op ^ " " ^ file)))
+
+let export_bundle ?faults platform (account : Account.t) =
+  match faulty ?faults ~op:"migrate.export" ~file:account.Account.user 1 with
+  | Error _ as e -> e
+  | Ok () ->
   let home = Platform.user_dir account.Account.user in
   Platform.with_ctx platform
     ~name:("migrate.export:" ^ account.Account.user)
@@ -85,7 +104,7 @@ let export_bundle platform (account : Account.t) =
           List.sort (fun a b -> String.compare a.rel_path b.rel_path) entries)
         (walk home (Ok [])))
 
-let import_bundle platform (account : Account.t) bundle =
+let import_bundle ?faults platform (account : Account.t) bundle =
   let written = ref 0 in
   let rec ensure_dirs rel =
     match String.rindex_opt rel '/' with
@@ -103,6 +122,11 @@ let import_bundle platform (account : Account.t) bundle =
     match acc with
     | Error _ as e -> e
     | Ok () -> (
+        (* per-entry delivery: a crash mid-bundle leaves a partial
+           import; a rerun overwrites idempotently and completes it *)
+        match faulty ?faults ~op:"migrate.import" ~file:rel_path 1 with
+        | Error _ as e -> e
+        | Ok () ->
         match ensure_dirs rel_path with
         | Error _ as e -> e
         | Ok () -> (
@@ -137,10 +161,11 @@ let import_bundle platform (account : Account.t) bundle =
   in
   Result.map (fun () -> !written) (List.fold_left import_one (Ok ()) bundle)
 
-let migrate_account ~from_platform ~from_account ~to_platform ~to_account =
-  match export_bundle from_platform from_account with
+let migrate_account ?faults ~from_platform ~from_account ~to_platform
+    ~to_account () =
+  match export_bundle ?faults from_platform from_account with
   | Error _ as e -> e
-  | Ok bundle -> import_bundle to_platform to_account bundle
+  | Ok bundle -> import_bundle ?faults to_platform to_account bundle
 
 (* The bundle file format reuses the record escaping: one entry per
    line, [path=content], both escaped. *)

@@ -26,20 +26,28 @@ type entry = {
 type bundle = entry list
 
 val export_bundle :
+  ?faults:W5_fault.Fault.t ->
   Platform.t -> Account.t -> (bundle, W5_os.Os_error.t) result
 (** Deterministic order (lexicographic by path). Directories are
-    implied by paths. *)
+    implied by paths. [faults] is consulted at ["migrate.export"]
+    before the walk: a dropped request retries, a crash aborts with
+    [Invalid]. *)
 
 val import_bundle :
+  ?faults:W5_fault.Fault.t ->
   Platform.t -> Account.t -> bundle -> (int, W5_os.Os_error.t) result
 (** Create-or-overwrite each entry under the account's labels
     (intermediate directories are created as needed); returns how many
-    entries were written. *)
+    entries were written. [faults] is consulted at ["migrate.import"]
+    per entry — a crash mid-bundle leaves a partial import on the
+    target; because entries overwrite idempotently, rerunning the
+    import completes it without duplicates. *)
 
 val migrate_account :
+  ?faults:W5_fault.Fault.t ->
   from_platform:Platform.t -> from_account:Account.t ->
   to_platform:Platform.t -> to_account:Account.t ->
-  (int, W5_os.Os_error.t) result
+  unit -> (int, W5_os.Os_error.t) result
 (** {!export_bundle} then {!import_bundle}: the whole move, no manual
     re-upload. *)
 

@@ -1,4 +1,5 @@
 open W5_platform
+module Fault = W5_fault.Fault
 
 type t = {
   mutable sides : (string * Platform.t) list;  (* insertion order *)
@@ -21,7 +22,7 @@ let rec pairs = function
   | [] -> []
   | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
 
-let link_user t ~user ~files =
+let link_user ?faults t ~user ~files =
   let holding =
     List.filter
       (fun (_, platform) -> Platform.find_account platform user <> None)
@@ -35,7 +36,22 @@ let link_user t ~user ~files =
       | ((name_a, pa), (name_b, pb)) :: rest -> (
           let a = { Sync.platform = pa; provider_name = name_a } in
           let b = { Sync.platform = pb; provider_name = name_b } in
-          match Sync.establish ~a ~b ~user ~files () with
+          let pair = name_a ^ "~" ^ name_b in
+          (* the link handshake is a message too: it can be lost (a
+             couple of retries) or arrive while a provider is down *)
+          let rec handshake attempt =
+            match faults with
+            | None -> Sync.establish ~a ~b ~user ~files ()
+            | Some plan -> (
+                match Fault.consult plan ~op:"peer.link" ~file:pair with
+                | Some Fault.Drop when attempt < 3 -> handshake (attempt + 1)
+                | Some Fault.Drop -> Error (pair ^ ": link handshake lost")
+                | Some (Fault.Crash_before_apply | Fault.Crash_after_apply) ->
+                    Error ("crash: peer.link " ^ pair)
+                | Some (Fault.Delay _ | Fault.Duplicate) | None ->
+                    Sync.establish ?faults ~a ~b ~user ~files ())
+          in
+          match handshake 1 with
           | Error _ as e -> e
           | Ok link -> build (link :: acc) rest)
     in

@@ -20,9 +20,13 @@ val providers : t -> (string * Platform.t) list
 val provider : t -> name:string -> Platform.t option
 
 val link_user :
+  ?faults:W5_fault.Fault.t ->
   t -> user:string -> files:string list -> (unit, string) result
 (** Create pairwise links for [user] across every provider holding the
-    account. Fails if fewer than two providers know the user. *)
+    account. Fails if fewer than two providers know the user.
+    [faults] is consulted at ["peer.link"] per pair (a dropped
+    handshake retries; a crash fails the linking) and installed on
+    every created link, so one seeded plan drives the whole mesh. *)
 
 val linked_users : t -> string list
 

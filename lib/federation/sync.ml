@@ -2,6 +2,7 @@ open W5_difc
 open W5_os
 open W5_store
 open W5_platform
+module Fault = W5_fault.Fault
 
 type side = {
   platform : Platform.t;
@@ -20,6 +21,11 @@ type link = {
   mutable sync_files : string list;
   mutable sync_dirs : string list;
   seen : (string, Vector_clock.t) Hashtbl.t;
+  mutable seen_dirty : bool;
+  mutable faults : Fault.t;
+  mutable max_attempts : int;
+  mutable backoff_cap : int;   (* logical ticks *)
+  mutable round_budget : int;  (* logical ticks of retry/delay per round *)
 }
 
 type stats = {
@@ -27,7 +33,25 @@ type stats = {
   b_to_a : int;
   merged : int;
   unchanged : int;
+  retried : int;
+  timed_out : int;
+  recovered : int;
 }
+
+(* Per-round mutable tallies threaded through the per-file logic. *)
+type counters = {
+  mutable c_retried : int;
+  mutable c_timed_out : int;
+}
+
+(* Durable link state lives in a dot-directory of the user's home on
+   the relevant side, written with the user's own authority so it
+   carries the user's labels like any other record. It is never part
+   of the sync worklist (only [sync_files] and [sync_dirs] expansions
+   are). *)
+let state_dir = ".sync"
+let seen_file ~peer = state_dir ^ "/seen-" ^ peer
+let intent_file ~peer = state_dir ^ "/intent-from-" ^ peer
 
 (* The privileges the user "gives to the data transfer application":
    declassification over their secrecy tags (and absorption for the
@@ -91,11 +115,42 @@ let version_of platform (account : Account.t) ~file =
   | Ok st -> st.Fs.version
   | Error _ -> 0
 
-let establish ?(mode = Bidirectional) ~a ~b ~user ~files () =
+(* ---- durable seen clocks --------------------------------------------- *)
+
+let load_seen seen platform (account : Account.t) ~peer =
+  match Platform.read_user_record platform account ~file:(seen_file ~peer) with
+  | Error _ -> ()
+  | Ok record ->
+      List.iter
+        (fun (file, encoded) ->
+          let clock = Vector_clock.decode encoded in
+          if not (Vector_clock.equal clock Vector_clock.zero) then
+            Hashtbl.replace seen file clock)
+        (Record.fields record)
+
+let persist_seen link =
+  let account = Platform.account_exn link.side_a.platform link.link_user in
+  ignore (Platform.user_mkdir link.side_a.platform account ~dir:state_dir);
+  let fields =
+    Hashtbl.fold
+      (fun file clock acc -> (file, Vector_clock.encode clock) :: acc)
+      link.seen []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  ignore
+    (Platform.write_user_record link.side_a.platform account
+       ~file:(seen_file ~peer:link.side_b.provider_name)
+       (Record.of_fields fields))
+
+let establish ?(mode = Bidirectional) ?faults ~a ~b ~user ~files () =
   match (Platform.find_account a.platform user, Platform.find_account b.platform user) with
   | None, _ -> Error (user ^ ": no account on " ^ a.provider_name)
   | _, None -> Error (user ^ ": no account on " ^ b.provider_name)
-  | Some _, Some _ ->
+  | Some account_a, Some _ ->
+      let seen = Hashtbl.create 16 in
+      (* a restarted agent resumes from the durable clocks: deletions
+         keep propagating, re-applied writes stay no-ops *)
+      load_seen seen a.platform account_a ~peer:b.provider_name;
       Ok
         {
           side_a = a;
@@ -104,8 +159,21 @@ let establish ?(mode = Bidirectional) ~a ~b ~user ~files () =
           link_user = user;
           sync_files = files;
           sync_dirs = [];
-          seen = Hashtbl.create 16;
+          seen;
+          seen_dirty = false;
+          faults = (match faults with Some f -> f | None -> Fault.none ());
+          max_attempts = 4;
+          backoff_cap = 8;
+          round_budget = 64;
         }
+
+let set_faults link plan = link.faults <- plan
+let faults link = link.faults
+
+let configure ?max_attempts ?backoff_cap ?round_budget link =
+  Option.iter (fun n -> link.max_attempts <- max n 1) max_attempts;
+  Option.iter (fun n -> link.backoff_cap <- max n 1) backoff_cap;
+  Option.iter (fun n -> link.round_budget <- max n 1) round_budget
 
 let add_file link file =
   if not (List.mem file link.sync_files) then
@@ -160,7 +228,169 @@ let current_clock link ~file =
 let seen_clock link ~file =
   Option.value (Hashtbl.find_opt link.seen file) ~default:Vector_clock.zero
 
-let sync_file link ~file =
+(* ---- fault plumbing -------------------------------------------------- *)
+
+(* Telemetry and audit for faults land on side A's kernel: the link
+   runs as an agent of that platform (see [meter_round]). *)
+let home_kernel link = Platform.kernel link.side_a.platform
+
+let note_fault link ~file ~action ~attempt =
+  let account = Platform.account_exn link.side_a.platform link.link_user in
+  Kernel.record (home_kernel link) ~pid:0
+    (Audit.Sync_fault
+       {
+         path = Platform.user_file account.Account.user file;
+         action = Fault.action_name action;
+         attempt;
+       });
+  W5_obs.Metrics.inc
+    (W5_obs.Metrics.counter
+       (Kernel.metrics (home_kernel link))
+       "w5_sync_faults_total"
+       ~help:"Federation transport faults hit (injected or observed)")
+    ~labels:[ ("action", Fault.action_name action) ]
+
+(* Backoff and delay are logical ticks on both kernels — no wall
+   clock anywhere, so a faulty run replays identically from its
+   seed. *)
+let advance_ticks link n =
+  for _ = 1 to n do
+    Kernel.advance_clock (Platform.kernel link.side_a.platform);
+    Kernel.advance_clock (Platform.kernel link.side_b.platform)
+  done
+
+(* One fault-aware delivery leg. Consults the plan at [op]:[file];
+   dropped deliveries retry with capped exponential backoff until
+   [max_attempts] or the round's tick budget runs out; a delay that
+   exceeds the budget abandons the delivery for this round (the link
+   timeout). Crashes are the caller's business — they must persist a
+   write-ahead intent first — so they are surfaced, not raised here.
+   [run ~dup] performs the real operation ([dup] = deliver twice). *)
+let deliver link ~counters ~budget ~op ~file
+    (run :
+      dup:bool ->
+      crash:[ `No | `Before | `After ] ->
+      ('a, string) result) : [ `Done of ('a, string) result | `Timed_out ] =
+  let rec go attempt =
+    if attempt > link.max_attempts then begin
+      counters.c_timed_out <- counters.c_timed_out + 1;
+      `Timed_out
+    end
+    else
+      match Fault.consult link.faults ~op ~file with
+      | None -> `Done (run ~dup:false ~crash:`No)
+      | Some action -> (
+          note_fault link ~file ~action ~attempt;
+          match action with
+          | Fault.Drop ->
+              let pause = min link.backoff_cap (1 lsl (attempt - 1)) in
+              if !budget < pause then begin
+                counters.c_timed_out <- counters.c_timed_out + 1;
+                `Timed_out
+              end
+              else begin
+                budget := !budget - pause;
+                advance_ticks link pause;
+                counters.c_retried <- counters.c_retried + 1;
+                go (attempt + 1)
+              end
+          | Fault.Delay n ->
+              if !budget < n then begin
+                counters.c_timed_out <- counters.c_timed_out + 1;
+                `Timed_out
+              end
+              else begin
+                budget := !budget - n;
+                advance_ticks link n;
+                `Done (run ~dup:false ~crash:`No)
+              end
+          | Fault.Duplicate -> `Done (run ~dup:true ~crash:`No)
+          | Fault.Crash_before_apply -> `Done (run ~dup:false ~crash:`Before)
+          | Fault.Crash_after_apply -> `Done (run ~dup:false ~crash:`After))
+  in
+  go 1
+
+(* ---- write-ahead intents --------------------------------------------- *)
+
+let write_intent platform (account : Account.t) ~peer ~file ~phase record =
+  ignore (Platform.user_mkdir platform account ~dir:state_dir);
+  ignore
+    (Platform.write_user_record platform account ~file:(intent_file ~peer)
+       (Record.of_fields
+          [
+            ("file", file);
+            ("peer", peer);
+            ("phase", phase);
+            ("payload", Record.encode record);
+          ]))
+
+let clear_intent platform (account : Account.t) ~peer =
+  ignore (Platform.delete_user_file platform account ~file:(intent_file ~peer))
+
+(* Replay one side's pending intent, if any: complete the write the
+   crash interrupted (phase "pending") or just finish the bookkeeping
+   (phase "applied"), then clear the intent. The regular diff pass
+   afterwards sees content-equal replicas and moves on without a
+   duplicate merge. *)
+let recover_side ~platform ~(account : Account.t) ~peer =
+  match Platform.read_user_record platform account ~file:(intent_file ~peer) with
+  | Error _ -> 0
+  | Ok intent ->
+      let file = Record.get_or intent "file" ~default:"" in
+      let phase = Record.get_or intent "phase" ~default:"pending" in
+      let recovered =
+        if file = "" then 0
+        else begin
+          (if phase = "pending" then
+             match Option.map Record.decode (Record.get intent "payload") with
+             | Some (Ok payload) ->
+                 let already =
+                   match Platform.read_user_record platform account ~file with
+                   | Ok existing -> Record.equal existing payload
+                   | Error _ -> false
+                 in
+                 if not already then begin
+                   ignore (ensure_parent_dir platform account ~file);
+                   ignore
+                     (Platform.write_user_record platform account ~file payload);
+                   Index.note_external_write (Platform.kernel platform)
+                     ~path:(Platform.user_file account.Account.user file)
+                 end
+             | Some (Error _) | None -> ());
+          Kernel.record (Platform.kernel platform) ~pid:0
+            (Audit.Sync_recovered
+               {
+                 peer;
+                 path = Platform.user_file account.Account.user file;
+                 phase;
+               });
+          1
+        end
+      in
+      clear_intent platform account ~peer;
+      recovered
+
+let recover link =
+  let account_a = Platform.account_exn link.side_a.platform link.link_user in
+  let account_b = Platform.account_exn link.side_b.platform link.link_user in
+  let n =
+    recover_side ~platform:link.side_a.platform ~account:account_a
+      ~peer:link.side_b.provider_name
+    + recover_side ~platform:link.side_b.platform ~account:account_b
+        ~peer:link.side_a.provider_name
+  in
+  if n > 0 then
+    W5_obs.Metrics.inc
+      (W5_obs.Metrics.counter
+         (Kernel.metrics (home_kernel link))
+         "w5_sync_recoveries_total"
+         ~help:"Write-ahead sync intents replayed after a crash")
+      ~by:n;
+  n
+
+(* ---- the per-file synchronization ------------------------------------ *)
+
+let sync_file link ~counters ~budget ~file =
   let a = link.side_a and b = link.side_b in
   let account_a = Platform.account_exn a.platform link.link_user in
   let account_b = Platform.account_exn b.platform link.link_user in
@@ -177,7 +407,8 @@ let sync_file link ~file =
   let deleted_a = va = 0 && seen_a > 0 in
   let deleted_b = vb = 0 && seen_b > 0 in
   let remember () =
-    Hashtbl.replace link.seen file (current_clock link ~file)
+    Hashtbl.replace link.seen file (current_clock link ~file);
+    link.seen_dirty <- true
   in
   (* Sync writes bypass Obj_store, so any store index over the target
      path must be told (a no-op for the usual /users/... targets; the
@@ -200,10 +431,75 @@ let sync_file link ~file =
            direction;
          })
   in
+  (* Fault-aware export leg: the request can be dropped (retried) or
+     crash the exporting provider — nothing durable is in flight yet,
+     so a crash here needs no intent. *)
+  let export_leg platform account =
+    deliver link ~counters ~budget ~op:"export" ~file
+      (fun ~dup:_ ~crash ->
+        if crash <> `No then raise (Fault.Crashed ("export:" ^ file));
+        Result.map_error Os_error.to_string (export_record platform account ~file))
+  in
+  (* Fault-aware apply leg with the write-ahead protocol: intent
+     before the write, cleared after; the two crash points leave the
+     intent at the phase recovery needs to see. [dup] delivers the
+     write twice — the second delivery is a no-op because the bytes
+     already match. *)
+  let apply_leg ~dst_platform ~dst_account ~src_name record =
+    deliver link ~counters ~budget ~op:"apply" ~file
+      (fun ~dup ~crash ->
+        let do_write () =
+          match ensure_parent_dir dst_platform dst_account ~file with
+          | Error e -> Error (Os_error.to_string e)
+          | Ok () -> (
+              match
+                Platform.write_user_record dst_platform dst_account ~file
+                  record
+              with
+              | Error e -> Error (Os_error.to_string e)
+              | Ok () ->
+                  invalidate_index dst_platform dst_account;
+                  Ok ())
+        in
+        match crash with
+        | `Before ->
+            write_intent dst_platform dst_account ~peer:src_name ~file
+              ~phase:"pending" record;
+            raise (Fault.Crashed ("apply:" ^ file))
+        | `After ->
+            write_intent dst_platform dst_account ~peer:src_name ~file
+              ~phase:"pending" record;
+            (match do_write () with
+            | Ok () ->
+                write_intent dst_platform dst_account ~peer:src_name ~file
+                  ~phase:"applied" record
+            | Error _ -> ());
+            raise (Fault.Crashed ("apply:" ^ file))
+        | `No -> (
+            write_intent dst_platform dst_account ~peer:src_name ~file
+              ~phase:"pending" record;
+            match do_write () with
+            | Error _ as e ->
+                clear_intent dst_platform dst_account ~peer:src_name;
+                e
+            | Ok () ->
+                (* duplicate delivery: apply again; idempotent because
+                   the destination already holds these bytes (the
+                   rewrite is skipped, its version does not move) *)
+                (if dup then
+                   match
+                     Platform.read_user_record dst_platform dst_account ~file
+                   with
+                   | Ok existing when Record.equal existing record -> ()
+                   | Ok _ | Error _ -> ignore (do_write ()));
+                clear_intent dst_platform dst_account ~peer:src_name;
+                Ok ()))
+  in
   let copy ~src_platform ~src_account ~dst_platform ~dst_account =
-    match export_record src_platform src_account ~file with
-    | Error e -> Error (Os_error.to_string e)
-    | Ok (record, _) -> (
+    match export_leg src_platform src_account with
+    | `Timed_out -> `Timed_out
+    | `Done (Error e) -> `Done (Error e)
+    | `Done (Ok (record, _)) -> (
         (* Skip the write when the destination already matches: a
            rewrite would bump its version and look like a fresh edit
            to every *other* link of a mesh, ping-ponging forever. *)
@@ -214,40 +510,56 @@ let sync_file link ~file =
         in
         if already_there then begin
           remember ();
-          Ok `Same
+          `Done (Ok `Same)
         end
         else
           match
-            Result.map_error Os_error.to_string
-              (ensure_parent_dir dst_platform dst_account ~file)
+            apply_leg ~dst_platform ~dst_account ~src_name:(name_of src_platform)
+              record
           with
-          | Error _ as e -> e
-          | Ok () -> (
-              match
-                Platform.write_user_record dst_platform dst_account ~file
-                  record
-              with
-              | Error e -> Error (Os_error.to_string e)
-              | Ok () ->
-                  invalidate_index dst_platform dst_account;
-                  audit_sync ~on:dst_platform ~peer:(name_of src_platform)
-                    dst_account ~direction:"pull";
-                  audit_sync ~on:src_platform ~peer:(name_of dst_platform)
-                    src_account ~direction:"push";
-                  remember ();
-                  Ok `Copied))
+          | `Timed_out -> `Timed_out
+          | `Done (Error _ as e) -> `Done e
+          | `Done (Ok ()) ->
+              audit_sync ~on:dst_platform ~peer:(name_of src_platform)
+                dst_account ~direction:"pull";
+              audit_sync ~on:src_platform ~peer:(name_of dst_platform)
+                src_account ~direction:"push";
+              remember ();
+              `Done (Ok `Copied))
   in
   let outcome_of_copy direction = function
     | `Same -> `Unchanged
     | `Copied -> direction
   in
+  let finish direction = function
+    | `Timed_out -> Ok `Timed_out
+    | `Done (Error _ as e) -> e
+    | `Done (Ok verdict) -> Ok (outcome_of_copy direction verdict)
+  in
+  (* Deletions are idempotent messages: deleting an already-absent
+     file acknowledges fine, so crash-rerun and duplicate delivery
+     need no intent record. *)
   let delete_on platform account =
-    match Platform.delete_user_file platform account ~file with
-    | Ok () ->
-        invalidate_index platform account;
-        remember ();
-        Ok ()
-    | Error e -> Error (Os_error.to_string e)
+    deliver link ~counters ~budget ~op:"delete" ~file
+      (fun ~dup ~crash ->
+        if crash <> `No then raise (Fault.Crashed ("delete:" ^ file));
+        let unlink () =
+          match Platform.delete_user_file platform account ~file with
+          | Ok () | Error (Os_error.Not_found _) -> Ok ()
+          | Error e -> Error (Os_error.to_string e)
+        in
+        match unlink () with
+        | Error _ as e -> e
+        | Ok () ->
+            if dup then ignore (unlink ());
+            invalidate_index platform account;
+            remember ();
+            Ok ())
+  in
+  let finish_delete direction = function
+    | `Timed_out -> Ok `Timed_out
+    | `Done (Error _ as e) -> e
+    | `Done (Ok ()) -> Ok direction
   in
   if deleted_a || deleted_b then begin
     if deleted_a && deleted_b then begin
@@ -256,16 +568,15 @@ let sync_file link ~file =
     end
     else if deleted_a && b_changed then
       (* concurrent edit vs delete: the edit wins, the file comes back *)
-      Result.map (outcome_of_copy `B_to_a)
+      finish `B_to_a
         (copy ~src_platform:b.platform ~src_account:account_b
            ~dst_platform:a.platform ~dst_account:account_a)
     else if deleted_b && a_changed then
-      Result.map (outcome_of_copy `A_to_b)
+      finish `A_to_b
         (copy ~src_platform:a.platform ~src_account:account_a
            ~dst_platform:b.platform ~dst_account:account_b)
-    else if deleted_a then
-      Result.map (fun () -> `A_to_b) (delete_on b.platform account_b)
-    else Result.map (fun () -> `B_to_a) (delete_on a.platform account_a)
+    else if deleted_a then finish_delete `A_to_b (delete_on b.platform account_b)
+    else finish_delete `B_to_a (delete_on a.platform account_a)
   end
   else if (not a_changed) && not b_changed then Ok `Unchanged
   else if link.link_mode = Mirror_a_to_b then begin
@@ -276,64 +587,71 @@ let sync_file link ~file =
         copy ~src_platform:a.platform ~src_account:account_a
           ~dst_platform:b.platform ~dst_account:account_b
       with
-      | Error _ as e -> e
-      | Ok `Same -> Ok `Unchanged
-      | Ok `Copied -> Ok `A_to_b
+      | `Timed_out -> Ok `Timed_out
+      | `Done (Error _ as e) -> e
+      | `Done (Ok `Same) -> Ok `Unchanged
+      | `Done (Ok `Copied) -> Ok `A_to_b
   end
-  else
-    let outcome_of = outcome_of_copy in
-    if a_changed && not b_changed then
-      if va = 0 then Ok `Unchanged
-      else
-        Result.map (outcome_of `A_to_b)
-          (copy ~src_platform:a.platform ~src_account:account_a
-             ~dst_platform:b.platform ~dst_account:account_b)
-    else if b_changed && not a_changed then
-      if vb = 0 then Ok `Unchanged
-      else
-        Result.map (outcome_of `B_to_a)
-          (copy ~src_platform:b.platform ~src_account:account_b
-             ~dst_platform:a.platform ~dst_account:account_a)
-    else if va = 0 then
-      (* changed on both but absent on A: plain copy B->A *)
-      Result.map (outcome_of `B_to_a)
-        (copy ~src_platform:b.platform ~src_account:account_b
-           ~dst_platform:a.platform ~dst_account:account_a)
-    else if vb = 0 then
-      Result.map (outcome_of `A_to_b)
+  else if a_changed && not b_changed then
+    if va = 0 then Ok `Unchanged
+    else
+      finish `A_to_b
         (copy ~src_platform:a.platform ~src_account:account_a
            ~dst_platform:b.platform ~dst_account:account_b)
+  else if b_changed && not a_changed then
+    if vb = 0 then Ok `Unchanged
     else
-      (* concurrent edits: merge and write back to both replicas *)
-      match export_record a.platform account_a ~file with
-    | Error e -> Error (Os_error.to_string e)
-    | Ok (ra, _) -> (
-        match export_record b.platform account_b ~file with
-        | Error e -> Error (Os_error.to_string e)
-        | Ok (rb, _) ->
+      finish `B_to_a
+        (copy ~src_platform:b.platform ~src_account:account_b
+           ~dst_platform:a.platform ~dst_account:account_a)
+  else if va = 0 then
+    (* changed on both but absent on A: plain copy B->A *)
+    finish `B_to_a
+      (copy ~src_platform:b.platform ~src_account:account_b
+         ~dst_platform:a.platform ~dst_account:account_a)
+  else if vb = 0 then
+    finish `A_to_b
+      (copy ~src_platform:a.platform ~src_account:account_a
+         ~dst_platform:b.platform ~dst_account:account_b)
+  else
+    (* concurrent edits: merge and write back to both replicas, each
+       apply its own fault-aware delivery *)
+    match export_leg a.platform account_a with
+    | `Timed_out -> Ok `Timed_out
+    | `Done (Error _ as e) -> e
+    | `Done (Ok (ra, _)) -> (
+        match export_leg b.platform account_b with
+        | `Timed_out -> Ok `Timed_out
+        | `Done (Error _ as e) -> e
+        | `Done (Ok (rb, _)) ->
             if Record.equal ra rb then begin
               remember ();
               Ok `Unchanged
             end
             else
               let merged = Conflict.merge ra rb in
-              let write platform account =
-                match ensure_parent_dir platform account ~file with
-                | Error _ as e -> e
-                | Ok () ->
-                    Result.map
-                      (fun () -> invalidate_index platform account)
-                      (Platform.write_user_record platform account ~file merged)
+              let write platform account ~src_name =
+                apply_leg ~dst_platform:platform ~dst_account:account
+                  ~src_name merged
               in
-              (match (write a.platform account_a, write b.platform account_b) with
-              | Ok (), Ok () ->
-                  audit_sync ~on:a.platform ~peer:b.provider_name account_a
-                    ~direction:"merge";
-                  audit_sync ~on:b.platform ~peer:a.provider_name account_b
-                    ~direction:"merge";
-                  remember ();
-                  Ok `Merged
-              | Error e, _ | _, Error e -> Error (Os_error.to_string e)))
+              (match
+                 write a.platform account_a ~src_name:b.provider_name
+               with
+              | `Timed_out -> Ok `Timed_out
+              | `Done (Error _ as e) -> e
+              | `Done (Ok ()) -> (
+                  match
+                    write b.platform account_b ~src_name:a.provider_name
+                  with
+                  | `Timed_out -> Ok `Timed_out
+                  | `Done (Error _ as e) -> e
+                  | `Done (Ok ()) ->
+                      audit_sync ~on:a.platform ~peer:b.provider_name account_a
+                        ~direction:"merge";
+                      audit_sync ~on:b.platform ~peer:a.provider_name account_b
+                        ~direction:"merge";
+                      remember ();
+                      Ok `Merged)))
 
 let expanded_files link =
   let account_a = Platform.account_exn link.side_a.platform link.link_user in
@@ -349,13 +667,24 @@ let expanded_files link =
         List.map (fun name -> dir ^ "/" ^ name) names)
       link.sync_dirs
   in
-  link.sync_files @ from_dirs
+  (* dedupe, first occurrence wins: a file named in [sync_files] that
+     also appears under a [sync_dirs] expansion must be worked once,
+     or the round's stats double-count it *)
+  let worked = Hashtbl.create 16 in
+  List.filter
+    (fun file ->
+      if Hashtbl.mem worked file then false
+      else begin
+        Hashtbl.add worked file ();
+        true
+      end)
+    (link.sync_files @ from_dirs)
 
 (* Sync telemetry lands on side A's kernel registry: the link runs as
    an agent of that platform, and a one-sided home avoids double
    counting. Outcomes are direction/verdict names only. *)
 let meter_round link stats =
-  let metrics = Kernel.metrics (Platform.kernel link.side_a.platform) in
+  let metrics = Kernel.metrics (home_kernel link) in
   W5_obs.Metrics.inc
     (W5_obs.Metrics.counter metrics "w5_sync_rounds_total"
        ~help:"Completed federation sync rounds");
@@ -369,26 +698,71 @@ let meter_round link stats =
   bump "a_to_b" stats.a_to_b;
   bump "b_to_a" stats.b_to_a;
   bump "merged" stats.merged;
-  bump "unchanged" stats.unchanged
+  bump "unchanged" stats.unchanged;
+  bump "timed_out" stats.timed_out;
+  if stats.retried > 0 then
+    W5_obs.Metrics.inc
+      (W5_obs.Metrics.counter metrics "w5_sync_retries_total"
+         ~help:"Delivery retries after dropped federation messages")
+      ~by:stats.retried
+
+let meter_crash link =
+  W5_obs.Metrics.inc
+    (W5_obs.Metrics.counter
+       (Kernel.metrics (home_kernel link))
+       "w5_sync_crashes_total"
+       ~help:"Sync rounds aborted by a provider crash")
 
 let sync link =
+  (* crash-restart recovery first: replay any write-ahead intent a
+     previous round left behind *)
+  let recovered = recover link in
+  let counters = { c_retried = 0; c_timed_out = 0 } in
+  let budget = ref link.round_budget in
   let result =
-    List.fold_left
-      (fun acc file ->
-        match acc with
-        | Error _ as e -> e
-        | Ok stats -> (
-            match sync_file link ~file with
-            | Error e -> Error (file ^ ": " ^ e)
-            | Ok `Unchanged -> Ok { stats with unchanged = stats.unchanged + 1 }
-            | Ok `A_to_b -> Ok { stats with a_to_b = stats.a_to_b + 1 }
-            | Ok `B_to_a -> Ok { stats with b_to_a = stats.b_to_a + 1 }
-            | Ok `Merged -> Ok { stats with merged = stats.merged + 1 }))
-      (Ok { a_to_b = 0; b_to_a = 0; merged = 0; unchanged = 0 })
-      (expanded_files link)
+    try
+      List.fold_left
+        (fun acc file ->
+          match acc with
+          | Error _ as e -> e
+          | Ok stats -> (
+              match sync_file link ~counters ~budget ~file with
+              | Error e -> Error (file ^ ": " ^ e)
+              | Ok `Unchanged -> Ok { stats with unchanged = stats.unchanged + 1 }
+              | Ok `A_to_b -> Ok { stats with a_to_b = stats.a_to_b + 1 }
+              | Ok `B_to_a -> Ok { stats with b_to_a = stats.b_to_a + 1 }
+              | Ok `Merged -> Ok { stats with merged = stats.merged + 1 }
+              | Ok `Timed_out ->
+                  Ok { stats with timed_out = stats.timed_out + 1 }))
+        (Ok
+           {
+             a_to_b = 0;
+             b_to_a = 0;
+             merged = 0;
+             unchanged = 0;
+             retried = 0;
+             timed_out = 0;
+             recovered;
+           })
+        (expanded_files link)
+    with Fault.Crashed site ->
+      meter_crash link;
+      Error ("crash: " ^ site)
   in
-  (match result with Ok stats -> meter_round link stats | Error _ -> ());
-  result
+  match result with
+  | Ok stats ->
+      let stats =
+        { stats with retried = counters.c_retried;
+          timed_out = counters.c_timed_out }
+      in
+      meter_round link stats;
+      (* refresh the durable clocks only when something moved them *)
+      if link.seen_dirty then begin
+        persist_seen link;
+        link.seen_dirty <- false
+      end;
+      Ok stats
+  | Error _ as e -> e
 
 let converged link =
   let account_a = Platform.account_exn link.side_a.platform link.link_user in

@@ -28,6 +28,8 @@ type event =
   | Tainted of { op : string; subject : subject; added : Label.t }
   | Object_labeled of { op : string; path : string; labels : Flow.labels }
   | Sync_applied of { peer : string; path : string; direction : string }
+  | Sync_fault of { path : string; action : string; attempt : int }
+  | Sync_recovered of { peer : string; path : string; phase : string }
   | Spawned of { child : int; name : string; labels : Flow.labels }
   | Gate_invoked of { gate : string; child : int }
   | Killed of { reason : string }
@@ -80,8 +82,9 @@ let is_denial entry =
   | Export_attempted { decision = Error _; _ } ->
       true
   | Flow_checked _ | Label_changed _ | Export_attempted _ | Declassified _
-  | Tainted _ | Object_labeled _ | Sync_applied _
-  | Spawned _ | Gate_invoked _ | Killed _ | Quota_hit _ | App_note _ ->
+  | Tainted _ | Object_labeled _ | Sync_applied _ | Sync_fault _
+  | Sync_recovered _ | Spawned _ | Gate_invoked _ | Killed _ | Quota_hit _
+  | App_note _ ->
       false
 
 let event_kind = function
@@ -92,6 +95,8 @@ let event_kind = function
   | Tainted _ -> "tainted"
   | Object_labeled _ -> "object_labeled"
   | Sync_applied _ -> "sync_applied"
+  | Sync_fault _ -> "sync_fault"
+  | Sync_recovered _ -> "sync_recovered"
   | Spawned _ -> "spawned"
   | Gate_invoked _ -> "gate_invoked"
   | Killed _ -> "killed"
@@ -142,6 +147,10 @@ let pp_event fmt = function
       Format.fprintf fmt "label %s %s [%a]" op path Flow.pp_labels labels
   | Sync_applied { peer; path; direction } ->
       Format.fprintf fmt "sync %s %s %s" direction peer path
+  | Sync_fault { path; action; attempt } ->
+      Format.fprintf fmt "sync fault %s %s attempt=%d" action path attempt
+  | Sync_recovered { peer; path; phase } ->
+      Format.fprintf fmt "sync recovered %s %s phase=%s" peer path phase
   | Spawned { child; name; labels } ->
       Format.fprintf fmt "spawn #%d %s [%a]" child name Flow.pp_labels labels
   | Gate_invoked { gate; child } ->

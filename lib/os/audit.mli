@@ -55,6 +55,18 @@ type event =
   | Sync_applied of { peer : string; path : string; direction : string }
       (** A federation round copied [path] to/from [peer]
           ([direction] is ["push"] or ["pull"]). *)
+  | Sync_fault of { path : string; action : string; attempt : int }
+      (** An injected (or, in a real deployment, observed) transport
+          fault hit a federation transfer of [path]: [action] is the
+          {!W5_fault.Fault.action_name} vocabulary and [attempt] the
+          delivery attempt it disrupted — how [w5 explain] answers
+          "why did this sync take 3 attempts". *)
+  | Sync_recovered of { peer : string; path : string; phase : string }
+      (** Crash-restart recovery replayed the write-ahead sync intent
+          for [path]: [phase] is ["pending"] (the crash hit before the
+          apply, the write was completed from the intent) or
+          ["applied"] (the crash hit after the apply; only the
+          bookkeeping was finished). *)
   | Spawned of { child : int; name : string; labels : Flow.labels }
       (** [labels] are the child's initial labels — the provenance
           root for everything the child later taints. *)

@@ -84,6 +84,15 @@ let edge_of_entry (e : Audit.entry) : P.edge option =
         ~tags:(tag_names labels.Flow.secrecy) ~detail:name ()
   | Audit.Gate_invoked { gate; child } ->
       mk ~kind:"gate" ~src:self ~dst:(P.Process child) ~detail:gate ()
+  | Audit.Sync_fault { path; action; attempt } ->
+      (* retries are causal history too: a transfer that took three
+         attempts shows its two lost deliveries on the chain *)
+      mk ~kind:"sync.fault" ~src:(P.Object path) ~dst:(P.Object path)
+        ~detail:(Printf.sprintf "%s attempt=%d" action attempt)
+        ()
+  | Audit.Sync_recovered { peer; path; phase } ->
+      mk ~kind:"sync.recover" ~src:(P.Remote peer) ~dst:(P.Object path)
+        ~detail:phase ()
   | Audit.Killed _ | Audit.Quota_hit _ | Audit.App_note _ -> None
 
 let graph ?node_budget log =
@@ -197,6 +206,8 @@ let report log =
   let denial_reasons = Hashtbl.create 8 in
   let denial_ops = Hashtbl.create 16 in
   let exports = Hashtbl.create 8 in      (* (destination, verdict) *)
+  let sync_faults = Hashtbl.create 8 in  (* action *)
+  let sync_recoveries = Hashtbl.create 8 in  (* phase *)
   let app_denials = Hashtbl.create 16 in
   let tainted_paths = Hashtbl.create 32 in
   let pid_names = Hashtbl.create 32 in
@@ -227,6 +238,8 @@ let report log =
           | Error d ->
               bump exports (destination, "deny");
               note_denial ~op:"export" e.Audit.pid d)
+      | Audit.Sync_fault { action; _ } -> bump sync_faults action
+      | Audit.Sync_recovered { phase; _ } -> bump sync_recoveries phase
       | Audit.Tainted { subject = Audit.File path; _ } -> bump tainted_paths path
       | _ -> ());
   let buf = Buffer.create 1024 in
@@ -252,6 +265,16 @@ let report log =
   section "exports (by destination and verdict):" (sorted_counts exports)
     (fun (dest, verdict) -> Printf.sprintf "%-40s %-8s" dest verdict);
   line "";
+  (* federation health: only printed when the trace federated at all,
+     so silo-only golden outputs are unchanged *)
+  if Hashtbl.length sync_faults > 0 || Hashtbl.length sync_recoveries > 0
+  then begin
+    section "sync faults (by action):" (sorted_counts sync_faults)
+      (Printf.sprintf "%-40s");
+    section "sync recoveries (by intent phase):"
+      (sorted_counts sync_recoveries) (Printf.sprintf "%-40s");
+    line ""
+  end;
   let top_paths =
     match sorted_counts tainted_paths with
     | xs when List.length xs > 10 -> List.filteri (fun i _ -> i < 10) xs

@@ -62,7 +62,8 @@ let collect platform =
           | None -> ())
       | Audit.Flow_checked _ | Audit.Label_changed _
       | Audit.Export_attempted _ | Audit.Declassified _ | Audit.Tainted _
-      | Audit.Object_labeled _ | Audit.Sync_applied _ | Audit.Gate_invoked _
+      | Audit.Object_labeled _ | Audit.Sync_applied _ | Audit.Sync_fault _
+      | Audit.Sync_recovered _ | Audit.Gate_invoked _
       | Audit.Killed _ | Audit.App_note _ ->
           ());
   let per_app =

@@ -11,6 +11,7 @@ let () =
       ("platform", Test_platform.suite);
       ("rank", Test_rank.suite);
       ("federation", Test_federation.suite);
+      ("fault", Test_fault.suite);
       ("apps", Test_apps.suite);
       ("workload", Test_workload.suite);
       ("integration", Test_integration.suite);

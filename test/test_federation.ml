@@ -78,6 +78,29 @@ let prop_encode_roundtrip =
   QCheck.Test.make ~name:"vc encode roundtrip" ~count:300 arb_clock (fun c ->
       Vector_clock.equal c (Vector_clock.decode (Vector_clock.encode c)))
 
+(* compare/merge laws: compare_clocks is a partial order whose least
+   upper bound is merge *)
+
+let leq a b =
+  match Vector_clock.compare_clocks a b with
+  | Vector_clock.Before | Vector_clock.Equal -> true
+  | Vector_clock.After | Vector_clock.Concurrent -> false
+
+let prop_order_antisymmetric =
+  QCheck.Test.make ~name:"vc order antisymmetric" ~count:300
+    (QCheck.pair arb_clock arb_clock) (fun (a, b) ->
+      (not (leq a b && leq b a)) || Vector_clock.equal a b)
+
+let prop_merge_is_lub =
+  QCheck.Test.make ~name:"vc merge is the least upper bound" ~count:300
+    (QCheck.triple arb_clock arb_clock arb_clock) (fun (a, b, c) ->
+      (* any common upper bound dominates the merge *)
+      (not (leq a c && leq b c)) || leq (Vector_clock.merge a b) c)
+
+let prop_vc_merge_idempotent =
+  QCheck.Test.make ~name:"vc merge idempotent" ~count:300 arb_clock (fun c ->
+      Vector_clock.equal c (Vector_clock.merge c c))
+
 (* ---- conflict merge ---- *)
 
 let test_conflict_merge () =
@@ -244,6 +267,9 @@ let suite =
       [
         prop_merge_commutative;
         prop_merge_upper_bound;
+        prop_order_antisymmetric;
+        prop_merge_is_lub;
+        prop_vc_merge_idempotent;
         prop_encode_roundtrip;
         prop_merge_idempotent;
       ]
@@ -407,7 +433,7 @@ let test_migrate_account () =
     ok_os
       (Migrate.migrate_account ~from_platform:old_platform
          ~from_account:old_account ~to_platform:new_platform
-         ~to_account:new_account)
+         ~to_account:new_account ())
   in
   (* profile + friends (seeded) + 2 photos *)
   check bool_c "several files moved" true (moved >= 4);
@@ -630,6 +656,31 @@ let test_delete_vs_edit_conflict () =
   check (Alcotest.option string_c) "edit wins" (Some "v2-edited")
     (Record.get r "pixels")
 
+(* regression: a file listed in sync_files that also appears under an
+   add_directory expansion used to be worked twice per round, double
+   counting it in the stats (copy + spurious unchanged) *)
+let test_file_in_files_and_dir_counted_once () =
+  let a = make_side "pa" and b = make_side "pb" in
+  ignore (ok_s (Platform.signup a.Sync.platform ~user:"zoe" ~password:"pw"));
+  ignore (ok_s (Platform.signup b.Sync.platform ~user:"zoe" ~password:"pw"));
+  let link = ok_s (Sync.establish ~a ~b ~user:"zoe" ~files:[ "photos/p1" ] ()) in
+  Sync.add_directory link "photos";
+  let account_a = Platform.account_exn a.Sync.platform "zoe" in
+  ignore (ok_os (Platform.user_mkdir a.Sync.platform account_a ~dir:"photos"));
+  List.iter
+    (fun (file, pixels) ->
+      ignore
+        (ok_os
+           (Platform.write_user_record a.Sync.platform account_a ~file
+              (Record.of_fields [ ("pixels", pixels) ]))))
+    [ ("photos/p1", "one"); ("photos/p2", "two") ];
+  let stats = ok_s (Sync.sync link) in
+  check int_c "each file copied once" 2 stats.Sync.a_to_b;
+  check int_c "no spurious unchanged for the dup" 0 stats.Sync.unchanged;
+  check int_c "worklist size = distinct files" 2
+    (stats.Sync.a_to_b + stats.Sync.b_to_a + stats.Sync.merged
+   + stats.Sync.unchanged + stats.Sync.timed_out)
+
 let suite =
   suite
   @ [
@@ -637,6 +688,8 @@ let suite =
         test_sync_propagates_deletion;
       Alcotest.test_case "delete vs edit conflict" `Quick
         test_delete_vs_edit_conflict;
+      Alcotest.test_case "file in files+dir worked once" `Quick
+        test_file_in_files_and_dir_counted_once;
     ]
 
 let test_peer_errors () =
@@ -743,7 +796,7 @@ let test_migrate_read_protected_account () =
     ok_os
       (Migrate.migrate_account ~from_platform:old_platform
          ~from_account:old_account ~to_platform:new_platform
-         ~to_account:new_account)
+         ~to_account:new_account ())
   in
   check bool_c "moved" true (moved >= 2);
   let r = ok_os (Platform.read_user_record new_platform new_account ~file:"profile") in

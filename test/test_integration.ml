@@ -739,7 +739,7 @@ let test_capstone_full_move () =
   let moved =
     match
       W5_federation.Migrate.migrate_account ~from_platform:provider_a
-        ~from_account:zoe_a ~to_platform:provider_b ~to_account:zoe_b
+        ~from_account:zoe_a ~to_platform:provider_b ~to_account:zoe_b ()
     with
     | Ok n -> n
     | Error e -> Alcotest.failf "migration failed: %s" (W5_os.Os_error.to_string e)

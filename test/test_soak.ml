@@ -21,6 +21,42 @@ let int_c = Alcotest.int
 
 let canary user = "CANARY-" ^ user ^ "-END"
 
+let contains hay needle =
+  let hn = String.length hay and nn = String.length needle in
+  let rec scan i = i + nn <= hn && (String.sub hay i nn = needle || scan (i + 1)) in
+  nn = 0 || scan 0
+
+(* The noninterference spot check, reusable per platform: no
+   bottom-labeled file anywhere may contain one of [needles] — every
+   copy of protected bytes (including ones a transfer agent imported
+   from a peer provider) must carry a secrecy label. *)
+let bare_canary_paths platform needles =
+  let fs = W5_os.Kernel.fs (Platform.kernel platform) in
+  let rec walk path bad =
+    match W5_os.Fs.stat fs path with
+    | Error _ -> bad
+    | Ok st -> (
+        match st.W5_os.Fs.kind with
+        | W5_os.Fs.Directory -> (
+            match W5_os.Fs.readdir fs path with
+            | Error _ -> bad
+            | Ok (names, _) ->
+                List.fold_left
+                  (fun bad name ->
+                    walk (if path = "/" then "/" ^ name else path ^ "/" ^ name) bad)
+                  bad names)
+        | W5_os.Fs.Regular -> (
+            match W5_os.Fs.read fs path with
+            | Error _ -> bad
+            | Ok (data, labels) ->
+                if
+                  Label.is_empty labels.Flow.secrecy
+                  && List.exists (contains data) needles
+                then path :: bad
+                else bad))
+  in
+  walk "/" []
+
 let test_soak ~seed () =
   let society =
     Populate.build ~seed ~users:12 ~friends_per_user:3 ~photos_per_user:2
@@ -85,39 +121,8 @@ let test_soak ~seed () =
         society.Populate.users)
     clients;
   (* INVARIANT: no bottom-labeled file anywhere contains a canary *)
-  let fs = W5_os.Kernel.fs (Platform.kernel platform) in
-  let contains hay needle =
-    let hn = String.length hay and nn = String.length needle in
-    let rec scan i = i + nn <= hn && (String.sub hay i nn = needle || scan (i + 1)) in
-    nn = 0 || scan 0
-  in
-  let rec walk path bad =
-    match W5_os.Fs.stat fs path with
-    | Error _ -> bad
-    | Ok st -> (
-        match st.W5_os.Fs.kind with
-        | W5_os.Fs.Directory -> (
-            match W5_os.Fs.readdir fs path with
-            | Error _ -> bad
-            | Ok (names, _) ->
-                List.fold_left
-                  (fun bad name ->
-                    walk (if path = "/" then "/" ^ name else path ^ "/" ^ name) bad)
-                  bad names)
-        | W5_os.Fs.Regular -> (
-            match W5_os.Fs.read fs path with
-            | Error _ -> bad
-            | Ok (data, labels) ->
-                if
-                  Label.is_empty labels.Flow.secrecy
-                  && List.exists
-                       (fun u -> contains data (canary u))
-                       society.Populate.users
-                then path :: bad
-                else bad))
-  in
   check (Alcotest.list Alcotest.string) "no unlabeled canary copies" []
-    (walk "/" []);
+    (bare_canary_paths platform (List.map canary society.Populate.users));
   (* INVARIANT: the audit log recorded at least one export denial per
      thief probe that got a 403 *)
   let export_denials =
@@ -136,6 +141,112 @@ let test_soak ~seed () =
   let r = Client.get c "/app/core/social" ~params:[ ("user", u0) ] in
   check int_c "still serving" 200 (Response.status_code r.Response.status)
 
+(* ---- faulty federation soak ----
+
+   Three providers gossip one roaming user's records while a seeded
+   fault plan drops, delays, duplicates, and crashes their messages.
+   Concurrent edits keep landing mid-fault; once the schedule drains
+   the mesh must converge, and no provider may ever end up holding a
+   bottom-labeled copy of the canary — retries, write-ahead intent
+   replays, and duplicate deliveries all travel the same labeled path
+   as clean syncs. *)
+
+let ok_str = function Ok v -> v | Error e -> Alcotest.fail e
+
+let test_faulty_federation_soak ~seed () =
+  let user = "zoe" in
+  let mesh = W5_federation.Peer.create () in
+  List.iter
+    (fun name ->
+      let platform = Platform.create () in
+      (match Platform.signup platform ~user ~password:"pw" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      ok_str (W5_federation.Peer.add_provider mesh ~name platform))
+    [ "east"; "west"; "south" ];
+  let plan =
+    W5_fault.Fault.of_seed ~drops:6 ~delays:2 ~duplicates:2 ~crashes:2 ~seed ()
+  in
+  (* the link handshake itself can crash; links are only recorded once
+     every pair succeeds, so retrying is safe *)
+  let rec link attempt =
+    match
+      W5_federation.Peer.link_user ~faults:plan mesh ~user
+        ~files:[ "profile"; "notes" ]
+    with
+    | Ok () -> ()
+    | Error _ when attempt < 6 -> link (attempt + 1)
+    | Error e -> Alcotest.failf "link_user: %s" e
+  in
+  link 1;
+  let providers = W5_federation.Peer.providers mesh in
+  let write_on (name, platform) ~file fields =
+    let account = Platform.account_exn platform user in
+    match
+      Platform.write_user_record platform account ~file
+        (W5_store.Record.of_fields fields)
+    with
+    | Ok () -> ()
+    | Error e ->
+        Alcotest.failf "write on %s: %s" name (W5_os.Os_error.to_string e)
+  in
+  write_on (List.hd providers) ~file:"profile"
+    [ ("user", user); ("canary", canary user) ];
+  (* concurrent edits under fire: every round two providers write, then
+     the mesh gossips; crashed rounds are tolerated and retried *)
+  let crashes = ref 0 in
+  let n = List.length providers in
+  for round = 1 to 12 do
+    let pick i = List.nth providers ((round + i) mod n) in
+    write_on (pick 0) ~file:"notes"
+      [ ("user", user); (Printf.sprintf "round%d" round, canary user) ];
+    write_on (pick 1) ~file:"notes"
+      [ ("user", user); (Printf.sprintf "echo%d" round, canary user) ];
+    match W5_federation.Peer.sync_round mesh ~user with
+    | Ok _ -> ()
+    | Error _ -> incr crashes
+  done;
+  (* settle: drain the rest of the schedule (consultations advance it
+     even when no fault fires) and gossip to a fixed point *)
+  let rec settle budget =
+    if budget = 0 then Alcotest.fail "faulty mesh did not converge"
+    else
+      match W5_federation.Peer.sync_round mesh ~user with
+      | Error _ ->
+          incr crashes;
+          settle (budget - 1)
+      | Ok 0
+        when W5_fault.Fault.pending plan = 0
+             && W5_federation.Peer.converged mesh ~user ->
+          ()
+      | Ok _ -> settle (budget - 1)
+  in
+  settle 40;
+  check int_c "schedule drained" 0 (W5_fault.Fault.pending plan);
+  (* the invariant the whole exercise exists for: no provider holds an
+     unlabeled copy of the canary, no matter which faulty path the
+     bytes took to get there *)
+  List.iter
+    (fun (name, platform) ->
+      check (Alcotest.list Alcotest.string)
+        (Printf.sprintf "no unlabeled canary on %s" name)
+        []
+        (bare_canary_paths platform [ canary user ]))
+    providers;
+  (* and every replica agrees on the final notes *)
+  let note (_, platform) =
+    let account = Platform.account_exn platform user in
+    match Platform.read_user_record platform account ~file:"notes" with
+    | Ok r -> W5_store.Record.encode r
+    | Error e -> Alcotest.failf "read notes: %s" (W5_os.Os_error.to_string e)
+  in
+  match providers with
+  | first :: rest ->
+      List.iter
+        (fun p -> check Alcotest.string "replicas agree" (note first) (note p))
+        rest
+  | [] -> assert false
+
 let suite =
   List.map
     (fun seed ->
@@ -143,3 +254,10 @@ let suite =
         (Printf.sprintf "soak: 800-action trace + attacks (seed %d)" seed)
         `Slow (test_soak ~seed))
     [ 1234; 777; 31337 ]
+  @ List.map
+      (fun seed ->
+        Alcotest.test_case
+          (Printf.sprintf "soak: faulty 3-provider federation (seed %d)" seed)
+          `Slow
+          (test_faulty_federation_soak ~seed))
+      [ 42; 9001 ]

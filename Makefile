@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench examples clean doc
+.PHONY: all build test check vet bench examples clean doc
 
 all: build
 
@@ -14,11 +14,21 @@ test:
 # test suite, smoke iterations of the provenance and federation-faults
 # bench groups, and an `explain` pass over the scripted breach (the
 # flight recorder must always be able to narrate a denial).
-check:
+check: vet
 	dune build @all && dune runtest
 	dune exec bench/main.exe -- --only provenance --smoke
 	dune exec bench/main.exe -- --only federation-faults --smoke
 	dune exec bin/w5.exe -- explain > /dev/null
+
+# Static label-flow analysis of the example platform, with the runtime
+# soundness pass; the JSON form must match the committed golden report
+# byte for byte (regenerate it with the redirect below after a
+# *reviewed* change to the showcase or the analyzer).
+#   dune exec bin/w5.exe -- vet --format json > test/golden/vet.json
+vet:
+	dune build bin/w5.exe
+	dune exec bin/w5.exe -- vet --runtime 300
+	dune exec bin/w5.exe -- vet --format json | diff -u test/golden/vet.json -
 
 bench:
 	dune exec bench/main.exe

@@ -990,6 +990,38 @@ let bench_provenance =
       ])
 
 (* ------------------------------------------------------------------ *)
+(* vet: whole-platform static analysis time vs. ecosystem size         *)
+(* ------------------------------------------------------------------ *)
+
+let vet_platform modules =
+  let platform = Platform.create () in
+  List.iter
+    (fun user ->
+      match Platform.signup platform ~user ~password:"pw" with
+      | Error e -> failwith ("bench: vet signup: " ^ e)
+      | Ok account ->
+          ignore
+            (Declassifier.install_and_authorize platform ~account
+               ~name:"friends" Declassifier.friends_only))
+    [ "veta"; "vetb"; "vetc"; "vetd" ];
+  ignore
+    (W5_workload.Populate.fill_dependency_graph platform ~modules
+       ~imports_per_module:3);
+  platform
+
+let vet_platforms = List.map (fun n -> (n, vet_platform n)) [ 10; 100; 1000 ]
+
+let bench_vet =
+  Test.make_grouped ~name:"vet"
+    (List.map
+       (fun (n, platform) ->
+         Test.make
+           ~name:(Printf.sprintf "capture-analyze-%d-apps" n)
+           (staged (fun () ->
+                W5_analysis.Vet.analyze (W5_analysis.Static.capture platform))))
+       vet_platforms)
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1014,6 +1046,7 @@ let groups =
     bench_metrics;
     bench_filter;
     bench_provenance;
+    bench_vet;
   ]
 
 (* --smoke: one tiny iteration per group, for CI — proves every bench

@@ -515,6 +515,65 @@ let stats_cmd =
              telemetry: metrics plus the last request trace.")
     term
 
+(* ---- w5 vet: static label-flow analysis of the whole platform ---- *)
+
+let vet seed users format dot runtime_n =
+  let society = W5_workload.Populate.build_showcase ~seed ~users () in
+  let platform = society.W5_workload.Populate.platform in
+  let st = W5_analysis.Static.capture platform in
+  let runtime =
+    match runtime_n with
+    | None -> None
+    | Some length ->
+        (* Drive the soak workload *after* the snapshot, then check
+           every observed flow edge against the static graph. *)
+        let rng = W5_workload.Rng.create ~seed:(seed + 100) in
+        let actions =
+          W5_workload.Trace.generate rng ~society
+            ~mix:W5_workload.Trace.read_heavy ~length
+        in
+        ignore (W5_workload.Trace.replay society actions);
+        Some
+          (W5_analysis.Vet.fold_audit st
+             (W5_os.Kernel.audit (Platform.kernel platform)))
+  in
+  let report = W5_analysis.Vet.report ?runtime st in
+  (match if dot then "dot" else format with
+  | "json" -> print_string (W5_analysis.Vet.to_json report)
+  | "dot" -> print_string (W5_analysis.Static.to_dot st)
+  | _ -> print_string (W5_analysis.Vet.to_text report));
+  exit (W5_analysis.Vet.exit_code report)
+
+let vet_cmd =
+  let users =
+    Arg.(value & opt int 6 & info [ "users" ] ~docv:"N"
+           ~doc:"Number of users in the showcase society.")
+  in
+  let format =
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: text (default), json, or dot.")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ]
+           ~doc:"Shorthand for --format dot: the static flow graph in Graphviz.")
+  in
+  let runtime =
+    Arg.(value & opt (some int) None & info [ "runtime" ] ~docv:"N"
+           ~doc:"Also replay an $(docv)-action workload and check every \
+                 audited flow edge against the static graph (the \
+                 differential soundness pass).")
+  in
+  let term =
+    Term.(ret (const vet $ seed_arg $ users $ format $ dot $ runtime))
+  in
+  Cmd.v
+    (Cmd.info "vet"
+       ~doc:"Static label-flow analysis of the whole platform: where every \
+             tag can go, ranked findings, optional runtime soundness check. \
+             Exit status reflects the worst finding (0 clean/info, \
+             2 warning, 3 high, 4 critical or unsound).")
+    term
+
 (* ---- w5 experiments: the index ---- *)
 
 let experiments () =
@@ -542,7 +601,8 @@ let experiments () =
     \  E16 DNS front-end ................... test http/integration (dns*)\n\
     \  E17 e-mail is an export ............. test apps (digest email)\n\
     \  E18 provider operations ............. test platform (admin, limits), bench durability\n\
-    \  E19 data portability ................ test federation (migrate*, takeout), w5 export\n";
+    \  E19 data portability ................ test federation (migrate*, takeout), w5 export\n\
+    \  E20 static vetting (\xc2\xa73.2) ........... test analysis, bench vet, w5 vet\n";
   `Ok ()
 
 let experiments_cmd =
@@ -556,6 +616,7 @@ let main_cmd =
   let info = Cmd.info "w5" ~version:"1.0" ~doc in
   Cmd.group info
     [ serve_cmd; audit_cmd; explain_cmd; provenance_cmd; audit_report_cmd;
-      rank_cmd; sync_cmd; trace_cmd; export_cmd; stats_cmd; experiments_cmd ]
+      rank_cmd; sync_cmd; trace_cmd; export_cmd; stats_cmd; vet_cmd;
+      experiments_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

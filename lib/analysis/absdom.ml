@@ -1,0 +1,24 @@
+module S = Set.Make (String)
+
+type t = S.t
+
+let bot = S.empty
+let singleton = S.singleton
+let of_names = S.of_list
+
+let of_label label =
+  W5_difc.Label.fold
+    (fun tag acc -> S.add (W5_difc.Tag.name tag) acc)
+    label S.empty
+
+let mem = S.mem
+let subset = S.subset
+let lub = S.union
+let glb = S.inter
+let equal = S.equal
+let is_bot = S.is_empty
+let cardinal = S.cardinal
+let names t = S.elements t
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}" (String.concat "," (names t))

@@ -1,0 +1,48 @@
+(** The analyzer's abstract label domain: finite sets of tag {e
+    names}.
+
+    The static analyzer cannot reason about {!W5_difc.Tag.t} values
+    directly — tag identities are minted at runtime, while the
+    analyzer wants to talk about a configuration ("user0001.secret",
+    "group:book-club") independently of any particular run. The
+    abstraction is the name map [alpha(tag) = Tag.name tag] lifted to
+    labels; this module is the image lattice: sets of names ordered by
+    inclusion, with union as join.
+
+    Soundness of the abstraction (proved as QCheck laws shared with
+    {!W5_difc.Label} in the test suite): [alpha] is a join-homomorphism
+    and monotone —
+    [of_label (Label.union a b) = lub (of_label a) (of_label b)] and
+    [Label.subset a b] implies [subset (of_label a) (of_label b)].
+    When tag names are unique (the platform's convention: names embed
+    the owning user), [alpha] is an order-isomorphism onto its image
+    and the implications are equivalences; with colliding names the
+    abstract domain merely over-approximates, which is the safe
+    direction for the analyzer. *)
+
+type t
+
+val bot : t
+(** The empty label — abstract [Label.empty]. *)
+
+val singleton : string -> t
+val of_names : string list -> t
+val of_label : W5_difc.Label.t -> t
+(** The abstraction function [alpha]. *)
+
+val mem : string -> t -> bool
+val subset : t -> t -> bool
+val lub : t -> t -> t
+(** Join (set union) — abstract [Label.union], the absorb operation. *)
+
+val glb : t -> t -> t
+(** Meet (set intersection) — abstract [Label.inter]. *)
+
+val equal : t -> t -> bool
+val is_bot : t -> bool
+val cardinal : t -> int
+
+val names : t -> string list
+(** Sorted member names. *)
+
+val pp : Format.formatter -> t -> unit

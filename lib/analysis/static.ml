@@ -1,0 +1,483 @@
+open W5_difc
+open W5_os
+open W5_platform
+
+type tag_kind = Secret | Read | Group_tag | Write | Other
+
+type tag_info = {
+  tag : Tag.t;
+  tag_name : string;
+  secrecy : bool;
+  restricted : bool;
+  kind : tag_kind;
+  owner : string option;
+  rule : string option;
+}
+
+type app_info = {
+  app_id : string;
+  version : string;
+  open_source : bool;
+  imports : string list;
+  embeds : string list;
+  enabled_by : string list;
+  installs : int;
+  vetted : bool;
+}
+
+type gate_info = {
+  gate : string;
+  gate_owner : string;
+  adds : string list;
+  drops : string list;
+  authorized_for : string list;
+}
+
+type group_info = {
+  group_name : string;
+  group_tag : string;
+  founder : string;
+  group_members : string list;
+}
+
+type t = {
+  s_enforcing : bool;
+  s_users : string list;
+  s_tags : tag_info list;
+  s_apps : app_info list;
+  s_gates : gate_info list;
+  s_groups : group_info list;
+  s_foreign_minus : (string * string) list;
+  tag_tbl : (string, tag_info) Hashtbl.t;
+  app_tbl : (string, app_info) Hashtbl.t;
+  gate_tbl : (string, gate_info) Hashtbl.t;
+  group_by_tag : (string, group_info) Hashtbl.t;
+  (* read-protected tag name -> apps its owner granted read access *)
+  grants_tbl : (string, string list) Hashtbl.t;
+}
+
+let enforcing t = t.s_enforcing
+let users t = t.s_users
+let tags t = t.s_tags
+let apps t = t.s_apps
+let gates t = t.s_gates
+let groups t = t.s_groups
+let foreign_minus t = t.s_foreign_minus
+let find_tag t name = Hashtbl.find_opt t.tag_tbl name
+let find_gate t name = Hashtbl.find_opt t.gate_tbl name
+let is_app t id = Hashtbl.mem t.app_tbl id
+
+(* ---- capture --------------------------------------------------------- *)
+
+let secrecy_only label =
+  List.filter (fun tag -> Tag.kind tag = Tag.Secrecy) (Label.to_list label)
+
+let sorted_names tags = List.sort_uniq compare (List.map Tag.name tags)
+
+let capture platform =
+  let kernel = Platform.kernel platform in
+  let accounts =
+    List.sort
+      (fun (a : Account.t) b -> compare a.Account.user b.Account.user)
+      (Platform.accounts platform)
+  in
+  let users = List.map (fun (a : Account.t) -> a.Account.user) accounts in
+  (* Tags, deduplicated by name (first registration wins; the
+     platform's naming conventions keep names unique). *)
+  let tag_tbl : (string, tag_info) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let rule_for (account : Account.t option) tag =
+    match account with
+    | None -> None
+    | Some a -> Policy.declassifier_for a.Account.policy ~tag
+  in
+  let add_tag ?owner ~kind tag =
+    let name = Tag.name tag in
+    if not (Hashtbl.mem tag_tbl name) then begin
+      let info =
+        {
+          tag;
+          tag_name = name;
+          secrecy = Tag.kind tag = Tag.Secrecy;
+          restricted = Tag.restricted tag;
+          kind;
+          owner =
+            Option.map (fun (a : Account.t) -> a.Account.user) owner;
+          rule = rule_for owner tag;
+        }
+      in
+      Hashtbl.replace tag_tbl name info;
+      order := name :: !order
+    end
+  in
+  List.iter
+    (fun (a : Account.t) ->
+      add_tag ~owner:a ~kind:Secret a.Account.secret_tag;
+      add_tag ~owner:a ~kind:Write a.Account.write_tag;
+      match a.Account.read_tag with
+      | Some rt -> add_tag ~owner:a ~kind:Read rt
+      | None -> ())
+    accounts;
+  let group_list =
+    List.map
+      (fun g ->
+        {
+          group_name = Group.name g;
+          group_tag = Tag.name (Group.tag g);
+          founder = Group.founder g;
+          group_members = Group.members g;
+        })
+      (Group.all platform)
+  in
+  List.iter
+    (fun g ->
+      add_tag
+        ?owner:(Platform.find_account platform (Group.founder g))
+        ~kind:Group_tag (Group.tag g))
+    (Group.all platform);
+  (* Strays: tags only visible through a policy rule or a gate's
+     capability set. *)
+  let add_stray tag =
+    add_tag ?owner:(Platform.owner_of_tag platform tag) ~kind:Other tag
+  in
+  List.iter
+    (fun (a : Account.t) ->
+      List.iter (fun (tag, _) -> add_stray tag)
+        (Policy.export_rules a.Account.policy))
+    accounts;
+  let gate_names = Kernel.gate_names kernel in
+  List.iter
+    (fun name ->
+      match Kernel.gate_caps kernel name with
+      | None -> ()
+      | Some caps ->
+          List.iter add_stray (secrecy_only (Capability.Set.addable caps));
+          List.iter add_stray (secrecy_only (Capability.Set.droppable caps)))
+    gate_names;
+  (* Gate table, with per-gate authorizations folded from every
+     account's export rules. *)
+  let authorized : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Account.t) ->
+      List.iter
+        (fun (tag, gate) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt authorized gate) in
+          Hashtbl.replace authorized gate (Tag.name tag :: prev))
+        (Policy.export_rules a.Account.policy))
+    accounts;
+  let gate_list =
+    List.filter_map
+      (fun name ->
+        match Kernel.gate_caps kernel name with
+        | None -> None
+        | Some caps ->
+            Some
+              {
+                gate = name;
+                gate_owner =
+                  (match Kernel.gate_owner kernel name with
+                  | Some p -> Principal.name p
+                  | None -> "?");
+                adds = sorted_names (secrecy_only (Capability.Set.addable caps));
+                drops =
+                  sorted_names (secrecy_only (Capability.Set.droppable caps));
+                authorized_for =
+                  List.sort_uniq compare
+                    (Option.value ~default:[] (Hashtbl.find_opt authorized name));
+              })
+      (List.sort compare gate_names)
+  in
+  (* Apps: latest version of everything in the registry. *)
+  let registry = Platform.registry platform in
+  let enabled : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Account.t) ->
+      List.iter
+        (fun app ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt enabled app) in
+          Hashtbl.replace enabled app (a.Account.user :: prev))
+        (Policy.enabled_apps a.Account.policy))
+    accounts;
+  let app_list =
+    List.filter_map
+      (fun (app : App_registry.app) ->
+        match App_registry.resolve registry ~id:app.App_registry.id () with
+        | None -> None
+        | Some (_, v) ->
+            Some
+              {
+                app_id = app.App_registry.id;
+                version = v.App_registry.v;
+                open_source =
+                  (match v.App_registry.source with
+                  | App_registry.Open_source _ -> true
+                  | App_registry.Closed_binary -> false);
+                imports = v.App_registry.imports;
+                embeds = v.App_registry.embeds;
+                enabled_by =
+                  List.sort compare
+                    (Option.value ~default:[]
+                       (Hashtbl.find_opt enabled app.App_registry.id));
+                installs = app.App_registry.installs;
+                vetted = Platform.is_vetted platform app.App_registry.id;
+              })
+      (App_registry.apps registry)
+  in
+  (* Read grants: restricted read tag -> apps its owner granted. *)
+  let grants_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Account.t) ->
+      match a.Account.read_tag with
+      | Some rt ->
+          Hashtbl.replace grants_tbl (Tag.name rt)
+            (Policy.read_grants a.Account.policy)
+      | None -> ())
+    accounts;
+  (* Foreign declassification privilege held outside any gate. *)
+  let foreign_minus =
+    List.concat_map
+      (fun (a : Account.t) ->
+        List.filter_map
+          (fun tag ->
+            match Platform.owner_of_tag platform tag with
+            | Some owner when owner.Account.user <> a.Account.user ->
+                Some (a.Account.user, Tag.name tag)
+            | Some _ | None -> None)
+          (secrecy_only (Capability.Set.droppable a.Account.caps)))
+      accounts
+    |> List.sort_uniq compare
+  in
+  let tag_list =
+    List.sort
+      (fun a b -> compare a.tag_name b.tag_name)
+      (List.rev_map (Hashtbl.find tag_tbl) !order)
+  in
+  let app_tbl = Hashtbl.create 64 in
+  List.iter (fun a -> Hashtbl.replace app_tbl a.app_id a) app_list;
+  let gate_tbl = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace gate_tbl g.gate g) gate_list;
+  let group_by_tag = Hashtbl.create 8 in
+  List.iter (fun g -> Hashtbl.replace group_by_tag g.group_tag g) group_list;
+  {
+    s_enforcing = Kernel.enforcing kernel;
+    s_users = users;
+    s_tags = tag_list;
+    s_apps = app_list;
+    s_gates = gate_list;
+    s_groups = group_list;
+    s_foreign_minus = foreign_minus;
+    tag_tbl;
+    app_tbl;
+    gate_tbl;
+    group_by_tag;
+    grants_tbl;
+  }
+
+(* ---- judgments ------------------------------------------------------- *)
+
+type holder = App of string | Gate of string | Tcb
+type verdict = Predicted | Unpredicted | Unknown
+
+let can_carry t holder name =
+  if not t.s_enforcing then Predicted
+  else
+    match find_tag t name with
+    | None -> Unknown
+    | Some ti ->
+        if not ti.restricted then Predicted
+        else (
+          match holder with
+          | Tcb -> Predicted
+          | Gate g -> (
+              match find_gate t g with
+              | None -> Unknown
+              | Some gi ->
+                  if List.mem name gi.adds then Predicted else Unpredicted)
+          | App a -> (
+              match Hashtbl.find_opt t.group_by_tag name with
+              | Some g when g.group_members <> [] ->
+                  (* any member may be the viewer, and member caps flow
+                     into whatever app serves them *)
+                  Predicted
+              | Some _ -> Unpredicted
+              | None -> (
+                  match Hashtbl.find_opt t.grants_tbl name with
+                  | Some granted when List.mem a granted -> Predicted
+                  | Some _ | None -> Unpredicted)))
+
+let may_drop t holder name =
+  if not t.s_enforcing then Predicted
+  else
+    match holder with
+    | Tcb -> Predicted
+    | Gate g -> (
+        match find_gate t g with
+        | None -> Unknown
+        | Some gi -> if List.mem name gi.drops then Predicted else Unpredicted)
+    | App _ -> (
+        (* application code never receives t-; a successful drop by an
+           app is exactly the leak the analyzer exists to catch *)
+        match find_tag t name with
+        | None -> Unknown
+        | Some _ -> Unpredicted)
+
+let may_export t ~tag ~viewer =
+  match find_tag t tag with
+  | None -> Unknown
+  | Some ti ->
+      if not t.s_enforcing then Predicted
+      else if
+        match (ti.owner, viewer) with
+        | Some owner, Some v -> owner = v
+        | _ -> false
+      then Predicted
+      else (
+        match ti.rule with
+        | None -> Unpredicted
+        | Some gate -> (
+            match find_gate t gate with
+            | None -> Unpredicted
+            | Some gi ->
+                if List.mem tag gi.drops then Predicted else Unpredicted))
+
+let absorbable t ~app =
+  List.fold_left
+    (fun acc ti ->
+      if ti.secrecy && can_carry t (App app) ti.tag_name = Predicted then
+        Absdom.lub acc (Absdom.singleton ti.tag_name)
+      else acc)
+    Absdom.bot t.s_tags
+
+type disposition =
+  | Owner_only
+  | Via_gate of string
+  | Broken of { gate : string; missing : bool }
+
+let disposition t ti =
+  match ti.rule with
+  | None -> Owner_only
+  | Some gate -> (
+      match find_gate t gate with
+      | None -> Broken { gate; missing = true }
+      | Some gi ->
+          if List.mem ti.tag_name gi.drops then Via_gate gate
+          else Broken { gate; missing = false })
+
+(* ---- DOT rendering --------------------------------------------------- *)
+
+let to_dot t =
+  let module Dot = W5_obs.Dot in
+  let tag_id name = "t_" ^ Dot.ident name in
+  let gate_id name = "g_" ^ Dot.ident name in
+  let app_id name = "a_" ^ Dot.ident name in
+  let secrecy_tags = List.filter (fun ti -> ti.secrecy) t.s_tags in
+  let tag_nodes =
+    List.map
+      (fun ti ->
+        let broken =
+          match disposition t ti with Broken _ -> true | _ -> false
+        in
+        let attrs =
+          [ ("shape", "ellipse") ]
+          @ (if ti.restricted then [ ("style", "dashed") ] else [])
+          @ if broken then [ ("color", "red") ] else []
+        in
+        Dot.node (tag_id ti.tag_name) ~label:ti.tag_name ~attrs)
+      secrecy_tags
+  in
+  let gate_nodes =
+    List.map
+      (fun gi ->
+        Dot.node (gate_id gi.gate) ~label:gi.gate
+          ~attrs:[ ("shape", "hexagon") ])
+      t.s_gates
+  in
+  let app_nodes =
+    List.map
+      (fun ai ->
+        let attrs =
+          ("shape", "box")
+          ::
+          (if ai.open_source then []
+           else [ ("style", "filled"); ("fillcolor", "lightgray") ])
+        in
+        Dot.node (app_id ai.app_id) ~label:ai.app_id ~attrs)
+      t.s_apps
+  in
+  let rule_edges =
+    List.filter_map
+      (fun ti ->
+        match disposition t ti with
+        | Owner_only -> None
+        | Via_gate gate ->
+            Some
+              (Dot.edge (tag_id ti.tag_name) (gate_id gate)
+                 ~attrs:[ ("label", "policy") ])
+        | Broken { gate; missing } ->
+            let label = if missing then "broken: no gate" else "broken: no t-" in
+            let dst =
+              if missing then tag_id ti.tag_name (* self loop on red node *)
+              else gate_id gate
+            in
+            Some
+              (Dot.edge (tag_id ti.tag_name) dst
+                 ~attrs:
+                   [ ("label", label); ("color", "red"); ("fontcolor", "red") ]))
+      secrecy_tags
+  in
+  let export_edges =
+    List.filter_map
+      (fun gi ->
+        if gi.drops = [] then None
+        else
+          Some
+            (Dot.edge (gate_id gi.gate) "public"
+               ~attrs:[ ("label", "declassify") ]))
+      t.s_gates
+  in
+  let grant_edges =
+    List.concat_map
+      (fun ti ->
+        if not ti.restricted then []
+        else
+          match Hashtbl.find_opt t.grants_tbl ti.tag_name with
+          | None -> []
+          | Some granted ->
+              List.filter_map
+                (fun app ->
+                  if is_app t app then
+                    Some
+                      (Dot.edge (tag_id ti.tag_name) (app_id app)
+                         ~attrs:[ ("label", "t+ grant"); ("style", "dashed") ])
+                  else None)
+                granted)
+      secrecy_tags
+  in
+  let dep_edges =
+    List.concat_map
+      (fun ai ->
+        List.map
+          (fun target ->
+            Dot.edge (app_id ai.app_id) (app_id target)
+              ~attrs:[ ("label", "imports"); ("style", "dotted") ])
+          (List.filter (is_app t) ai.imports)
+        @ List.map
+            (fun target ->
+              Dot.edge (app_id ai.app_id) (app_id target)
+                ~attrs:[ ("label", "embeds"); ("style", "dotted") ])
+            (List.filter (is_app t) ai.embeds))
+      t.s_apps
+  in
+  let legend =
+    Dot.node "_legend"
+      ~label:
+        "every app may absorb every non-restricted tag\n\
+         (dense edges elided); restricted tags shown dashed"
+      ~attrs:[ ("shape", "note"); ("style", "dashed") ]
+  in
+  Dot.digraph "w5_static_flow"
+    ((Dot.node "public" ~label:"public network"
+        ~attrs:[ ("shape", "doublecircle") ]
+     :: tag_nodes)
+    @ gate_nodes @ app_nodes @ rule_edges @ export_edges @ grant_edges
+    @ dep_edges @ [ legend ])

@@ -1,0 +1,88 @@
+(** Findings over a {!Static} snapshot, the runtime differential
+    soundness pass, and the `w5 vet` report renderers. *)
+
+(** Ranked worst-first. [Critical] means data can cross the perimeter
+    with no declassifier decision at all; [High] means an export path
+    is misconfigured in a way that either fails every request or
+    hands the decision to foreign code; [Warning] flags latent policy
+    gaps; [Info] is hygiene. *)
+type severity = Critical | High | Warning | Info
+
+type finding =
+  | Enforcement_off
+      (** the kernel is not enforcing flows — the perimeter is open *)
+  | Unguarded_export of { tag : string; holder : string }
+      (** a non-gate capability set carries [t-] for a foreign tag *)
+  | Broken_rule of { tag : string; gate : string; missing : bool }
+      (** policy routes the tag through a gate that is unregistered
+          ([missing]) or lacks [t-] — every export will fail *)
+  | Foreign_gate of { tag : string; gate : string; gate_owner : string }
+      (** the authorized gate is owned by a different principal: the
+          tag is effectively public to whatever that code approves *)
+  | No_rule of { tag : string }
+      (** an owned, reachable tag with no declassifier: every export
+          toward a non-owner is denied at runtime *)
+  | Overbroad_gate of { gate : string; extra : string list }
+      (** the gate holds [t-] for tags no policy routes through it *)
+  | Dead_gate of { gate : string }
+      (** registered but authorized for nothing *)
+  | Closed_cycle of { cycle_members : string list }
+      (** an import/embed cycle passing through a closed binary —
+          unauditable mutual dependence *)
+  | Dangling_edge of { app : string; edge : string; target : string }
+      (** an import/embed names an app the registry does not know *)
+
+val severity_of : finding -> severity
+val message : finding -> string
+
+val analyze : Static.t -> finding list
+(** All findings, ranked most severe first (stable within severity). *)
+
+(** {1 Differential soundness: runtime vs. static} *)
+
+type violation = {
+  v_seq : int;     (** audit sequence number of the offending entry *)
+  v_pid : int;
+  v_holder : string;  (** ["app:<id>"], ["gate:<name>"] or ["tcb"] *)
+  v_kind : string;    (** ["taint"], ["declassify"], ["relabel"], ["export"] *)
+  v_tag : string;
+}
+
+type runtime = {
+  checked : int;    (** runtime flow edges compared against the graph *)
+  predicted : int;
+  unknown : int;    (** edges on tags minted after the snapshot *)
+  violations : violation list;  (** must be empty: static ⊇ dynamic *)
+}
+
+val fold_audit : Static.t -> W5_os.Audit.log -> runtime
+(** Classify every pid from [Spawned]/[Gate_invoked] events (an app
+    process is spawned under its app id; descendants inherit; a gate
+    invocation reclassifies the child), then check each observed flow
+    edge — taint absorptions, declassifications, successful relabels,
+    allowed exports — against the static judgments. TCB-classified
+    processes are skipped except at the perimeter, where every allowed
+    export is checked regardless of who carried it. *)
+
+(** {1 Reports} *)
+
+type report = {
+  static : Static.t;
+  findings : finding list;
+  runtime : runtime option;
+}
+
+val report : ?runtime:runtime -> Static.t -> report
+
+val max_severity : report -> severity option
+(** [None] when there are no findings and no runtime violations; a
+    runtime violation counts as [Critical]. *)
+
+val exit_code : report -> int
+(** Severity-based process exit status: 0 clean or [Info] only,
+    2 [Warning], 3 [High], 4 [Critical] or runtime unsoundness. *)
+
+val to_text : report -> string
+val to_json : report -> string
+(** Deterministic (sorted, nameless-of-runtime-ids) rendering — the CI
+    golden file is a byte-for-byte diff of this output. *)

@@ -76,7 +76,7 @@ let publish platform ~dev =
       (App_registry.Open_source
          "recommend_app.ml: scores friends' items, responds top-k; \
           every friend's declassifier gates the export")
-    ~imports:[ "sdev/social" ] handler
+    ~imports:[ "core/social" ] handler
 
 (* Referenced only to document the record dependency on the social
    app's friends format. *)

@@ -107,17 +107,15 @@ let rec strip_scripts html =
     end
     else if lowercase_at low i "javascript:" then
       go (i + String.length "javascript:") in_tag
-    else if in_tag && handler_at low i <> None then
-      match handler_at low i with
+    else
+      match if in_tag then handler_at low i else None with
       | Some after_eq -> go (skip_value after_eq) in_tag
-      | None -> assert false
-    else begin
-      Buffer.add_char buf html.[i];
-      let in_tag =
-        match low.[i] with '<' -> true | '>' -> false | _ -> in_tag
-      in
-      go (i + 1) in_tag
-    end
+      | None ->
+          Buffer.add_char buf html.[i];
+          let in_tag =
+            match low.[i] with '<' -> true | '>' -> false | _ -> in_tag
+          in
+          go (i + 1) in_tag
   in
   go 0 false;
   let out = Buffer.contents buf in

@@ -1,0 +1,26 @@
+(** Minimal Graphviz DOT assembly, shared by {!Provenance} and the
+    static analyzer's graph output so both emit the same dialect
+    (labels quoted and escaped, bare identifier values unquoted,
+    [rankdir] header, two-space indent).
+
+    The helpers return single lines without trailing newlines;
+    {!digraph} joins them into a complete document. *)
+
+val escape : string -> string
+(** Escape a string for use inside a double-quoted DOT attribute. *)
+
+val ident : string -> string
+(** Flatten an arbitrary string into a safe DOT identifier (anything
+    outside [A-Za-z0-9] becomes ['_']). Distinct inputs may collide;
+    callers that need uniqueness should prefix a discriminator. *)
+
+val node : ?attrs:(string * string) list -> string -> label:string -> string
+(** [node id ~label ~attrs] renders ["  id [label=\"…\",k=\"v\"];"].
+    [id] must already be a valid identifier (see {!ident}). *)
+
+val edge : ?attrs:(string * string) list -> string -> string -> string
+(** [edge src dst] renders ["  src -> dst [k=\"v\"];"]. *)
+
+val digraph : ?rankdir:string -> string -> string list -> string
+(** Wrap pre-rendered lines into ["digraph <name> { rankdir=…; … }\n"].
+    [rankdir] defaults to ["LR"]. *)

@@ -177,61 +177,49 @@ let render_chain t chain =
   in
   String.concat "\n" lines
 
-(* --- DOT rendering --------------------------------------------------- *)
-
-let dot_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let ident s =
-  String.map
-    (fun c ->
-      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_')
-    s
+(* --- DOT rendering (assembly shared with the analyzer via Dot) ------- *)
 
 let node_id = function
   | Process pid -> Printf.sprintf "p%d" pid
-  | Object path -> "o_" ^ ident path
-  | Remote name -> "r_" ^ ident name
+  | Object path -> "o_" ^ Dot.ident path
+  | Remote name -> "r_" ^ Dot.ident name
 
 let node_decl t node =
-  let shape, style =
+  let attrs =
     match node with
-    | Process _ -> ("ellipse", "")
-    | Object _ -> ("box", "")
-    | Remote _ -> ("diamond", ",style=dashed")
+    | Process _ -> [ ("shape", "ellipse") ]
+    | Object _ -> [ ("shape", "box") ]
+    | Remote _ -> [ ("shape", "diamond"); ("style", "dashed") ]
   in
-  Printf.sprintf "  %s [label=\"%s\",shape=%s%s];" (node_id node)
-    (dot_escape (node_label t node))
-    shape style
+  Dot.node (node_id node) ~label:(node_label t node) ~attrs
 
 let edge_decl e =
   let label =
     Printf.sprintf "#%d %s%s" e.seq e.kind
-      (match e.tags with [] -> "" | ts -> "\\n{" ^ String.concat "," ts ^ "}")
+      (match e.tags with [] -> "" | ts -> "\n{" ^ String.concat "," ts ^ "}")
   in
-  let color = match e.denied with None -> "" | Some _ -> ",color=red,fontcolor=red" in
-  Printf.sprintf "  %s -> %s [label=\"%s\"%s];" (node_id e.src) (node_id e.dst)
-    (dot_escape label) color
+  let attrs =
+    ("label", label)
+    ::
+    (match e.denied with
+    | None -> []
+    | Some _ -> [ ("color", "red"); ("fontcolor", "red") ])
+  in
+  Dot.edge (node_id e.src) (node_id e.dst) ~attrs
 
 let dot_of t ~nodes ~edges =
-  let b = Buffer.create 1024 in
-  Buffer.add_string b "digraph provenance {\n  rankdir=LR;\n";
-  List.iter (fun n -> Buffer.add_string b (node_decl t n); Buffer.add_char b '\n') nodes;
-  List.iter (fun e -> Buffer.add_string b (edge_decl e); Buffer.add_char b '\n') edges;
-  if t.truncated then
-    Buffer.add_string b
-      "  _truncated [label=\"truncated\",shape=note,style=dashed];\n";
-  Buffer.add_string b "}\n";
-  Buffer.contents b
+  let lines =
+    List.map (node_decl t) nodes
+    @ List.map edge_decl edges
+    @
+    if t.truncated then
+      [
+        Dot.node "_truncated" ~label:"truncated"
+          ~attrs:[ ("shape", "note"); ("style", "dashed") ];
+      ]
+    else []
+  in
+  Dot.digraph "provenance" lines
 
 let to_dot t =
   let nodes = List.map fst (Node_map.bindings t.nodes) in

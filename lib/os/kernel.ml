@@ -233,6 +233,12 @@ let register_gate k ~name ~owner ~caps ~entry =
 
 let gate_exists k name = Hashtbl.mem k.gates name
 
+let gate_caps k name =
+  Option.map (fun g -> g.g_caps) (Hashtbl.find_opt k.gates name)
+
+let gate_owner k name =
+  Option.map (fun g -> g.g_owner) (Hashtbl.find_opt k.gates name)
+
 let gate_names k =
   Hashtbl.fold (fun name _ acc -> name :: acc) k.gates []
   |> List.sort String.compare

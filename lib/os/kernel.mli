@@ -121,6 +121,12 @@ val register_gate :
 val gate_exists : t -> string -> bool
 val gate_names : t -> string list
 
+val gate_caps : t -> string -> Capability.Set.t option
+(** The capability set a gate runs with — read-only introspection for
+    auditors and the static analyzer; the entry point stays private. *)
+
+val gate_owner : t -> string -> Principal.t option
+
 val invoke_gate :
   t -> caller:Proc.t -> name:string -> arg:string ->
   (Proc.t, Os_error.t) result

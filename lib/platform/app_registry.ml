@@ -103,6 +103,10 @@ let fork t ~new_dev ~from_id ?from_version ~name () =
 let list_ids t =
   Hashtbl.fold (fun id _ acc -> id :: acc) t.apps [] |> List.sort String.compare
 
+let apps t =
+  Hashtbl.fold (fun _ app acc -> app :: acc) t.apps []
+  |> List.sort (fun a b -> String.compare a.id b.id)
+
 let record_install t id =
   match Hashtbl.find_opt t.apps id with
   | None -> ()

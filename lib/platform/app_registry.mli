@@ -79,6 +79,11 @@ val resolve : t -> id:string -> ?version:string -> unit -> (app * version) optio
 (** Latest version unless [version] is given. *)
 
 val list_ids : t -> string list
+
+val apps : t -> app list
+(** Every registered app, sorted by id — the registry walk the static
+    analyzer and the provider dashboard share. *)
+
 val record_install : t -> string -> unit
 val installs : t -> string -> int
 

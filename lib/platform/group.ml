@@ -22,6 +22,10 @@ let registry_of platform =
       table
 
 let find platform ~name = Hashtbl.find_opt (registry_of platform) name
+
+let all platform =
+  Hashtbl.fold (fun _ g acc -> g :: acc) (registry_of platform) []
+  |> List.sort (fun a b -> String.compare a.g_name b.g_name)
 let name group = group.g_name
 let tag group = group.g_tag
 let founder group = group.g_founder

@@ -26,6 +26,10 @@ val create :
     member. Fails if the name is taken. *)
 
 val find : Platform.t -> name:string -> t option
+
+val all : Platform.t -> t list
+(** Every group on this platform, sorted by name. *)
+
 val name : t -> string
 val tag : t -> Tag.t
 val founder : t -> string

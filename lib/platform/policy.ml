@@ -62,6 +62,8 @@ let write_delegated t app = List.mem app t.write_delegates
 let grant_read t app = t.read_grants <- add_unique app t.read_grants
 let revoke_read t app = t.read_grants <- List.filter (( <> ) app) t.read_grants
 let read_granted t app = List.mem app t.read_grants
+let write_delegates t = List.sort compare t.write_delegates
+let read_grants t = List.sort compare t.read_grants
 
 let set_require_vetted t b = t.require_vetted <- b
 let require_vetted t = t.require_vetted

@@ -61,6 +61,13 @@ val grant_read : t -> string -> unit
 val revoke_read : t -> string -> unit
 val read_granted : t -> string -> bool
 
+val write_delegates : t -> string list
+(** All apps with a write delegation, sorted — introspection for the
+    dashboard and the static analyzer. *)
+
+val read_grants : t -> string list
+(** All apps with a read grant, sorted. *)
+
 (** {1 Integrity protection (§3.1)} *)
 
 val set_require_vetted : t -> bool -> unit

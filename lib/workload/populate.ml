@@ -126,6 +126,100 @@ let build ?(seed = 42) ?enforcing ~users:user_count ~friends_per_user
     graph;
   society
 
+(* The platform `w5 vet` ships as its worked example: the society from
+   [build] plus the whole legitimate application suite, one group, one
+   read-protected user, module choices and a vetted-software list —
+   every configuration feature the static analyzer models, wired so
+   the golden report is clean. Tests and the CLI share this builder so
+   the committed report stays byte-for-byte reproducible. *)
+let build_showcase ?(seed = 42) ?(users = 6) () =
+  let society =
+    build ~seed ~users ~friends_per_user:3 ~photos_per_user:2
+      ~blog_posts_per_user:1 ()
+  in
+  let platform = society.platform in
+  let core = Principal.make Principal.Developer "core" in
+  let publish label r = ensure label (Result.map (fun _ -> ()) r) in
+  publish "messages" (W5_apps.Message_app.publish platform ~dev:core);
+  publish "calendar" (W5_apps.Calendar_app.publish platform ~dev:core);
+  publish "polls" (W5_apps.Poll_app.publish platform ~dev:core);
+  publish "dating" (W5_apps.Dating_app.publish platform ~dev:core);
+  publish "groups" (W5_apps.Group_app.publish platform ~dev:core);
+  publish "mashup" (W5_apps.Mashup_app.publish platform ~dev:core);
+  publish "recommend" (W5_apps.Recommend_app.publish platform ~dev:core);
+  publish "chameleon" (W5_apps.Chameleon_app.publish platform ~dev:core);
+  publish "gmaps/render"
+    (W5_apps.Mashup_app.publish_map_module platform
+       ~dev:(Principal.make Principal.Developer "gmaps")
+       ~name:"render" ~evil:false);
+  publish "devA/crop"
+    (W5_apps.Photo_app.publish_crop_module platform
+       ~dev:(Principal.make Principal.Developer "devA")
+       ~name:"crop" ~style:`Head);
+  publish "devB/crop"
+    (W5_apps.Photo_app.publish_crop_module platform
+       ~dev:(Principal.make Principal.Developer "devB")
+       ~name:"crop" ~style:`Frame);
+  (* The provider's vetted list covers the suite, so integrity
+     protection is satisfiable. *)
+  List.iter
+    (Platform.add_vetted platform)
+    [
+      "core/social"; "core/photos"; "core/blog"; "core/messages";
+      "core/calendar"; "core/polls"; "core/dating"; "core/groups";
+      "core/mashup"; "core/recommend"; "gmaps/render"; "devA/crop";
+      "devB/crop";
+    ];
+  List.iter
+    (fun user ->
+      List.iter
+        (fun app -> ensure ("enable " ^ app) (Platform.enable_app platform ~user ~app))
+        [ "core/messages"; "core/recommend" ])
+    society.users;
+  (match society.users with
+  | u0 :: u1 :: u2 :: _ ->
+      let a0 = Platform.account_exn platform u0 in
+      let a1 = Platform.account_exn platform u1 in
+      (* u0: module choices, mashup, integrity protection. *)
+      ensure "enable mashup" (Platform.enable_app platform ~user:u0 ~app:"core/mashup");
+      Policy.choose_module a0.Account.policy ~slot:"map.render"
+        ~module_id:"gmaps/render";
+      Policy.choose_module a0.Account.policy ~slot:"photo.crop"
+        ~module_id:"devA/crop";
+      Policy.set_require_vetted a0.Account.policy true;
+      (* u1: read protection, with the declassifier reinstalled so the
+         new restricted tag stays exportable, and read grants so the
+         core apps can keep serving the protected files. *)
+      ignore (Platform.enable_read_protection platform a1);
+      ignore
+        (Declassifier.install_and_authorize platform ~account:a1 ~name:"friends"
+           Declassifier.friends_only);
+      List.iter
+        (Policy.grant_read a1.Account.policy)
+        [ society.social_id; society.photo_id; society.blog_id ];
+      (* One group founded by u0 with u1 and u2 aboard. *)
+      (match Group.create platform ~founder:a0 ~name:"book-club" with
+      | Error e -> invalid_arg ("populate: group: " ^ e)
+      | Ok group ->
+          ensure "group member u1" (Group.add_member platform group ~user:u1);
+          ensure "group member u2" (Group.add_member platform group ~user:u2);
+          List.iter
+            (fun user ->
+              ensure ("enable groups for " ^ user)
+                (Platform.enable_app platform ~user ~app:"core/groups"))
+            [ u0; u1; u2 ];
+          let post author id body =
+            match Group.post platform group ~author ~id ~body with
+            | Ok () -> ()
+            | Error e ->
+                invalid_arg
+                  ("populate: group post: " ^ W5_os.Os_error.to_string e)
+          in
+          post a0 "0001" "first meeting: chapter one";
+          post a1 "0002" "minutes from the reading")
+  | _ -> invalid_arg "populate: showcase needs at least 3 users");
+  society
+
 let fill_dependency_graph ?(seed = 7) platform ~modules ~imports_per_module =
   let rng = Rng.create ~seed in
   let registry = Platform.registry platform in

@@ -28,6 +28,17 @@ val build :
     handlers over HTTP; and install a friends-only declassifier for
     every user. *)
 
+val build_showcase : ?seed:int -> ?users:int -> unit -> society
+(** [build], then the rest of the configuration surface the static
+    analyzer models: the full legitimate app suite (messages, calendar,
+    polls, dating, groups, mashup, recommend, the closed-binary
+    chameleon) plus third-party map/crop modules, a provider vetted
+    list, per-user module choices, one integrity-protected user, one
+    read-protected user (declassifier reinstalled and read grants
+    issued so nothing breaks), and a three-member group with posts.
+    This is the platform `w5 vet` analyzes and the one the committed
+    golden report describes — keep it deterministic. *)
+
 val login : society -> string -> W5_http.Client.t
 (** A browser logged in as the user. *)
 

@@ -14,6 +14,7 @@ let () =
       ("fault", Test_fault.suite);
       ("apps", Test_apps.suite);
       ("workload", Test_workload.suite);
+      ("analysis", Test_analysis.suite);
       ("integration", Test_integration.suite);
       ("noninterference", Test_noninterference.suite);
       ("soak", Test_soak.suite);

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check vet bench examples clean doc
+.PHONY: all build test check vet bench perf perf-record examples clean doc
 
 all: build
 
@@ -32,6 +32,23 @@ vet:
 
 bench:
 	dune exec bench/main.exe
+
+# Tracking performance over time (README §"Tracking performance over
+# time"): a full measured bench run, emitted as BENCH_<group>.json and
+# diffed against the committed baselines at the repo root under
+# per-group relative thresholds. Exit 1 on regression. CI runs only
+# the structural (--schema-only) gate — smoke timings are noise — so
+# this value gate is the local, pre-commit check.
+perf:
+	dune exec bench/main.exe -- --json-dir _bench_fresh
+	dune exec bin/w5.exe -- perf diff --fresh _bench_fresh
+
+# Re-record the committed baselines after a *reviewed* perf change
+# (and regenerate the schema golden CI byte-diffs):
+perf-record:
+	dune exec bench/main.exe -- --json-dir _bench_fresh
+	dune exec bin/w5.exe -- perf record --fresh _bench_fresh
+	dune exec bin/w5.exe -- perf schema > test/golden/bench_schema.txt
 
 examples:
 	@for e in quickstart social_network photo_mashup federation_sync \

@@ -25,7 +25,13 @@
      accounting (E7);
    - client-filter           : the perimeter JavaScript filter (E9).
 
+   Heavy fixtures live in {!Fixtures}, built lazily: each group is a
+   thunk, so `--only NAME` pays only for the worlds NAME touches.
+
    Run with:  dune exec bench/main.exe
+   Flags:     --smoke         one tiny iteration per test (CI)
+              --only NAME     run a single group
+              --json-dir DIR  also write BENCH_<group>.json baselines
 *)
 
 open Bechamel
@@ -33,70 +39,17 @@ open Toolkit
 open W5_difc
 open W5_http
 open W5_platform
+module F = Fixtures
 
 let staged = Staged.stage
-
-(* ------------------------------------------------------------------ *)
-(* Fixtures                                                            *)
-(* ------------------------------------------------------------------ *)
-
-let society ~enforcing =
-  W5_workload.Populate.build ~seed:17 ~enforcing ~users:10 ~friends_per_user:3
-    ~photos_per_user:2 ~blog_posts_per_user:1 ()
-
-let on_society = society ~enforcing:true
-let off_society = society ~enforcing:false
-
-let logged_in (s : W5_workload.Populate.society) user =
-  W5_workload.Populate.login s user
-
-(* clients used repeatedly inside benches *)
-let on_u0 = logged_in on_society (List.hd on_society.W5_workload.Populate.users)
-let off_u0 = logged_in off_society (List.hd off_society.W5_workload.Populate.users)
-let on_u0_name = List.hd on_society.W5_workload.Populate.users
-let on_u1_name = List.nth on_society.W5_workload.Populate.users 1
-
-(* a viewer who is guaranteed to be u1's friend, and one who is not *)
-let friend_of_u1, non_friend_of_u1 =
-  let platform = on_society.W5_workload.Populate.platform in
-  let account = Platform.account_exn platform on_u1_name in
-  match Platform.read_user_record platform account ~file:"friends" with
-  | Ok r -> (
-      let friends = W5_store.Record.get_list r "friends" in
-      let everyone = on_society.W5_workload.Populate.users in
-      let non_friend =
-        List.find
-          (fun u -> u <> on_u1_name && not (List.mem u friends))
-          (everyone @ [ "nobody" ])
-      in
-      match friends with
-      | f :: _ -> (f, non_friend)
-      | [] -> (on_u0_name, non_friend))
-  | Error _ -> (on_u0_name, on_u0_name)
-
-let friend_client = logged_in on_society friend_of_u1
-
-let stranger_client =
-  if non_friend_of_u1 = "nobody" then friend_client
-  else logged_in on_society non_friend_of_u1
 
 (* ------------------------------------------------------------------ *)
 (* fig1-baseline: the silo model                                       *)
 (* ------------------------------------------------------------------ *)
 
-let silo =
+let bench_fig1 () =
   let open W5_apps.Silo_baseline in
-  let site = create_site "silo" in
-  List.iter
-    (fun i ->
-      set_data site ~user:"amy"
-        ~key:(Printf.sprintf "k%02d" i)
-        ~value:(String.make 32 'v'))
-    (List.init 10 Fun.id);
-  site
-
-let bench_fig1 =
-  let open W5_apps.Silo_baseline in
+  let silo = F.silo () in
   Test.make_grouped ~name:"fig1-baseline"
     [
       Test.make ~name:"get" (staged (fun () -> get_data silo ~user:"amy" ~key:"k00"));
@@ -112,7 +65,12 @@ let bench_fig1 =
 (* fig2-w5 + e2e-request: full requests through the gateway            *)
 (* ------------------------------------------------------------------ *)
 
-let bench_e2e =
+let bench_e2e () =
+  let on_u0 = F.on_u0 () and off_u0 = F.off_u0 () in
+  let on_u0_name = F.on_u0_name () and on_u1_name = F.on_u1_name () in
+  let friend_client = F.friend_client ()
+  and stranger_client = F.stranger_client () in
+  let off_u0_name = List.hd (F.off_society ()).W5_workload.Populate.users in
   Test.make_grouped ~name:"e2e-request"
     [
       Test.make ~name:"own-profile-enforcing"
@@ -121,8 +79,7 @@ let bench_e2e =
       Test.make ~name:"own-profile-no-enforcement"
         (staged (fun () ->
              Client.get off_u0 "/app/core/social"
-               ~params:
-                 [ ("user", List.hd off_society.W5_workload.Populate.users) ]));
+               ~params:[ ("user", off_u0_name) ]));
       Test.make ~name:"friend-view-via-declassifier"
         (staged (fun () ->
              Client.get friend_client "/app/core/social"
@@ -204,14 +161,14 @@ let labels_of_size n =
     (List.init n (fun i ->
          Tag.fresh ~name:(Printf.sprintf "bench%d-%d" n i) Tag.Secrecy))
 
-let label_pairs =
-  List.map
-    (fun n ->
-      let a = labels_of_size n and b = labels_of_size n in
-      (n, a, b, Label.union a b))
-    label_sizes
-
-let bench_label_ops =
+let bench_label_ops () =
+  let label_pairs =
+    List.map
+      (fun n ->
+        let a = labels_of_size n and b = labels_of_size n in
+        (n, a, b, Label.union a b))
+      label_sizes
+  in
   Test.make_grouped ~name:"label-ops"
     (List.concat_map
        (fun (n, a, b, ab) ->
@@ -240,44 +197,48 @@ let bench_label_ops =
 (* export-check + declassifier                                         *)
 (* ------------------------------------------------------------------ *)
 
-let perimeter_platform = on_society.W5_workload.Populate.platform
-let perimeter_owner = Platform.account_exn perimeter_platform on_u1_name
-let perimeter_friend = Platform.account_exn perimeter_platform friend_of_u1
+let perimeter_fixture () =
+  let platform = (F.on_society ()).W5_workload.Populate.platform in
+  let owner = Platform.account_exn platform (F.on_u1_name ()) in
+  let labels =
+    Flow.make ~secrecy:(Label.singleton owner.Account.secret_tag) ()
+  in
+  (platform, owner, labels)
 
-let perimeter_labels =
-  Flow.make ~secrecy:(Label.singleton perimeter_owner.Account.secret_tag) ()
-
-let bench_perimeter =
+let bench_perimeter () =
+  let platform, owner, labels = perimeter_fixture () in
+  let friend = Platform.account_exn platform (F.friend_of_u1 ()) in
   Test.make_grouped ~name:"export-check"
     [
       Test.make ~name:"owner-allow"
         (staged (fun () ->
-             Perimeter.export perimeter_platform ~viewer:(Some perimeter_owner)
-               ~data:"payload" ~labels:perimeter_labels ()));
+             Perimeter.export platform ~viewer:(Some owner) ~data:"payload"
+               ~labels ()));
       Test.make ~name:"friend-via-declassifier"
         (staged (fun () ->
-             Perimeter.export perimeter_platform ~viewer:(Some perimeter_friend)
-               ~data:"payload" ~labels:perimeter_labels ()));
+             Perimeter.export platform ~viewer:(Some friend) ~data:"payload"
+               ~labels ()));
       Test.make ~name:"public-payload"
         (staged (fun () ->
-             Perimeter.export perimeter_platform ~viewer:None ~data:"payload"
+             Perimeter.export platform ~viewer:None ~data:"payload"
                ~labels:Flow.bottom ()));
     ]
 
-let bench_declassifier =
+let bench_declassifier () =
   (* ablation: running the decision logic inline vs through a kernel
      gate (fresh process, capability transfer, response labels) *)
+  let platform, owner, labels = perimeter_fixture () in
+  let on_u1_name = F.on_u1_name () and friend_of_u1 = F.friend_of_u1 () in
   let inline () =
-    Platform.with_ctx perimeter_platform ~name:"inline-declass"
-      ~labels:perimeter_labels ~caps:perimeter_owner.Account.caps (fun ctx ->
+    Platform.with_ctx platform ~name:"inline-declass" ~labels
+      ~caps:owner.Account.caps (fun ctx ->
         Ok
           (Declassifier.friends_only ctx ~owner:on_u1_name
              ~viewer:(Some friend_of_u1) ~data:"payload"))
   in
   let gate_name = Declassifier.gate_name ~owner:on_u1_name ~name:"friends" in
   let via_gate () =
-    Platform.with_ctx perimeter_platform ~name:"gate-declass"
-      ~labels:perimeter_labels (fun ctx ->
+    Platform.with_ctx platform ~name:"gate-declass" ~labels (fun ctx ->
         W5_os.Syscall.invoke_gate ctx gate_name
           ~arg:
             (Declassifier.encode_arg ~viewer:(Some friend_of_u1)
@@ -293,57 +254,8 @@ let bench_declassifier =
 (* query-taint (E8)                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let query_kernel = W5_os.Kernel.create ()
-let query_sizes = [ 10; 100; 1000 ]
-
-let spawn_on kernel name =
-  match
-    W5_os.Kernel.spawn kernel ~name
-      ~owner:(W5_os.Kernel.kernel_principal kernel)
-      ~labels:Flow.bottom ~caps:Capability.Set.empty
-      ~limits:W5_os.Resource.unlimited (fun _ -> ())
-  with
-  | Ok proc -> { W5_os.Kernel.kernel; proc }
-  | Error _ -> assert false
-
-let () =
-  (* seed one collection per size, with a tenth of the rows secret *)
-  let seed = spawn_on query_kernel "seed" in
-  (match W5_store.Obj_store.init seed with Ok () -> () | Error _ -> assert false);
-  List.iter
-    (fun n ->
-      let collection = Printf.sprintf "c%d" n in
-      (match
-         W5_store.Obj_store.create_collection seed collection ~labels:Flow.bottom
-       with
-      | Ok () -> ()
-      | Error _ -> assert false);
-      List.iter
-        (fun i ->
-          let labels =
-            if i mod 10 = 0 then
-              Flow.make
-                ~secrecy:
-                  (Label.singleton
-                     (Tag.fresh
-                        ~name:(Printf.sprintf "row%d-%d" n i)
-                        Tag.Secrecy))
-                ()
-            else Flow.bottom
-          in
-          match
-            W5_store.Obj_store.put seed ~collection
-              ~id:(Printf.sprintf "r%04d" i)
-              ~labels
-              (W5_store.Record.of_fields
-                 [ ("from", (if i mod 3 = 0 then "bob" else "carol")) ])
-          with
-          | Ok () -> ()
-          | Error _ -> assert false)
-        (List.init n Fun.id))
-    query_sizes
-
-let bench_query =
+let bench_query () =
+  let kernel = F.query_kernel () in
   Test.make_grouped ~name:"query-taint"
     (List.concat_map
        (fun n ->
@@ -353,15 +265,15 @@ let bench_query =
            Test.make
              ~name:(Printf.sprintf "safe-select-%d" n)
              (staged (fun () ->
-                  W5_store.Query.select (spawn_on query_kernel "q") ~collection
+                  W5_store.Query.select (F.spawn_on kernel "q") ~collection
                     ~where));
            Test.make
              ~name:(Printf.sprintf "leaky-select-%d" n)
              (staged (fun () ->
-                  W5_store.Query.select_leaky (spawn_on query_kernel "q")
+                  W5_store.Query.select_leaky (F.spawn_on kernel "q")
                     ~collection ~where));
          ])
-       query_sizes)
+       F.query_sizes)
 
 (* ------------------------------------------------------------------ *)
 (* query-index: indexed vs scanning selects                            *)
@@ -371,81 +283,46 @@ let bench_query =
    an equality hit returns ~10 rows) and "score" is the row number (so
    a range query over the top 10 also returns 10). The planner serves
    both from the index; [~use_index:false] is the scan baseline. *)
-let index_kernel = W5_os.Kernel.create ()
-let index_sizes = [ 10; 100; 1000; 10000 ]
-let index_collection n = Printf.sprintf "qi%d" n
-
-let () =
-  let seed = spawn_on index_kernel "seed" in
-  (match W5_store.Obj_store.init seed with Ok () -> () | Error _ -> assert false);
-  List.iter
-    (fun n ->
-      let collection = index_collection n in
-      (match
-         W5_store.Obj_store.create_collection seed collection
-           ~labels:Flow.bottom
-       with
-      | Ok () -> ()
-      | Error _ -> assert false);
-      W5_store.Index.declare seed ~collection ~field:"u"
-        W5_store.Index.Equality;
-      W5_store.Index.declare seed ~collection ~field:"score"
-        W5_store.Index.Int_order;
-      List.iter
-        (fun i ->
-          match
-            W5_store.Obj_store.put seed ~collection
-              ~id:(Printf.sprintf "r%05d" i)
-              ~labels:Flow.bottom
-              (W5_store.Record.of_fields
-                 [
-                   ("u", Printf.sprintf "u%d" (i mod max 1 (n / 10)));
-                   ("score", string_of_int i);
-                 ])
-          with
-          | Ok () -> ()
-          | Error _ -> assert false)
-        (List.init n Fun.id))
-    index_sizes
-
-let bench_query_index =
+let bench_query_index () =
+  let kernel = F.index_kernel () in
   Test.make_grouped ~name:"query-index"
     (List.concat_map
        (fun n ->
-         let collection = index_collection n in
+         let collection = F.index_collection n in
          let eq = W5_store.Query.field_equals "u" "u1" in
          let range = W5_store.Query.field_int_at_least "score" (n - 10) in
          [
            Test.make
              ~name:(Printf.sprintf "indexed-eq-%d" n)
              (staged (fun () ->
-                  W5_store.Query.select (spawn_on index_kernel "q") ~collection
+                  W5_store.Query.select (F.spawn_on kernel "q") ~collection
                     ~where:eq));
            Test.make
              ~name:(Printf.sprintf "scan-eq-%d" n)
              (staged (fun () ->
                   W5_store.Query.select ~use_index:false
-                    (spawn_on index_kernel "q") ~collection ~where:eq));
+                    (F.spawn_on kernel "q") ~collection ~where:eq));
            Test.make
              ~name:(Printf.sprintf "indexed-range-%d" n)
              (staged (fun () ->
-                  W5_store.Query.select (spawn_on index_kernel "q") ~collection
+                  W5_store.Query.select (F.spawn_on kernel "q") ~collection
                     ~where:range));
            Test.make
              ~name:(Printf.sprintf "scan-range-%d" n)
              (staged (fun () ->
                   W5_store.Query.select ~use_index:false
-                    (spawn_on index_kernel "q") ~collection ~where:range));
+                    (F.spawn_on kernel "q") ~collection ~where:range));
          ])
-       index_sizes)
+       F.index_sizes)
 
 (* The headline number (rows actually visited, not wall time), printed
    from the counters so BENCH output shows the O(result)-vs-
    O(collection) gap directly. *)
 let report_rows_scanned () =
+  let kernel = F.index_kernel () in
   let metric =
     W5_obs.Metrics.counter
-      (W5_os.Kernel.metrics index_kernel)
+      (W5_os.Kernel.metrics kernel)
       "w5_store_rows_scanned_total" ~help:"Rows visited by store queries"
   in
   let rows_visited_by f =
@@ -453,18 +330,18 @@ let report_rows_scanned () =
     f ();
     W5_obs.Metrics.value metric - before
   in
-  let collection = index_collection 10000 in
+  let collection = F.index_collection 10000 in
   let where = W5_store.Query.field_equals "u" "u1" in
   let indexed =
     rows_visited_by (fun () ->
         ignore
-          (W5_store.Query.select (spawn_on index_kernel "q") ~collection ~where))
+          (W5_store.Query.select (F.spawn_on kernel "q") ~collection ~where))
   in
   let scanned =
     rows_visited_by (fun () ->
         ignore
-          (W5_store.Query.select ~use_index:false
-             (spawn_on index_kernel "q") ~collection ~where))
+          (W5_store.Query.select ~use_index:false (F.spawn_on kernel "q")
+             ~collection ~where))
   in
   Printf.printf
     "\nquery-index rows visited at 10k rows (field_equals, 10 matches):\n";
@@ -476,27 +353,8 @@ let report_rows_scanned () =
 (* pagerank (E5)                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let graph_of_size n =
-  let rng = W5_workload.Rng.create ~seed:(n + 1) in
-  let g = W5_rank.Depgraph.create () in
-  List.iter
-    (fun i ->
-      let node = Printf.sprintf "m%d" i in
-      W5_rank.Depgraph.add_node g node;
-      if i > 0 then
-        List.iter
-          (fun _ ->
-            let j = W5_workload.Rng.int rng i in
-            let j = min j (W5_workload.Rng.int rng i) in
-            W5_rank.Depgraph.add_edge g ~src:node ~dst:(Printf.sprintf "m%d" j))
-          (List.init (min 3 i) Fun.id))
-    (List.init n Fun.id);
-  g
-
-let graph_100 = graph_of_size 100
-let graph_1000 = graph_of_size 1000
-
-let bench_pagerank =
+let bench_pagerank () =
+  let graph_100 = F.graph_100 () and graph_1000 = F.graph_1000 () in
   Test.make_grouped ~name:"pagerank"
     [
       Test.make ~name:"compute-100"
@@ -506,89 +364,38 @@ let bench_pagerank =
       Test.make ~name:"score-registry"
         (staged (fun () ->
              W5_rank.Code_search.score_all
-               (Platform.registry on_society.W5_workload.Populate.platform)));
+               (Platform.registry (F.on_society ()).W5_workload.Populate.platform)));
     ]
 
 (* ------------------------------------------------------------------ *)
 (* federation-sync (E6)                                                *)
 (* ------------------------------------------------------------------ *)
 
-let sync_link, sync_side_a =
-  let a =
-    { W5_federation.Sync.platform = Platform.create (); provider_name = "pa" }
-  in
-  let b =
-    { W5_federation.Sync.platform = Platform.create (); provider_name = "pb" }
-  in
-  (match
-     Platform.signup a.W5_federation.Sync.platform ~user:"zoe" ~password:"pw"
-   with
-  | Ok _ -> ()
-  | Error e -> failwith e);
-  (match
-     Platform.signup b.W5_federation.Sync.platform ~user:"zoe" ~password:"pw"
-   with
-  | Ok _ -> ()
-  | Error e -> failwith e);
-  match
-    W5_federation.Sync.establish ~a ~b ~user:"zoe"
-      ~files:[ "profile"; "friends" ] ()
-  with
-  | Ok link ->
-      ignore (W5_federation.Sync.sync link);
-      (link, a)
-  | Error e -> failwith e
-
 let sync_counter = ref 0
 
-let bench_federation =
+let bench_federation () =
+  let link = F.sync_link () and side_a = F.sync_side_a () in
   Test.make_grouped ~name:"federation-sync"
     [
       Test.make ~name:"steady-state-round"
-        (staged (fun () -> W5_federation.Sync.sync sync_link));
+        (staged (fun () -> W5_federation.Sync.sync link));
       Test.make ~name:"one-update-round"
         (staged (fun () ->
              incr sync_counter;
              let account =
-               Platform.account_exn sync_side_a.W5_federation.Sync.platform
-                 "zoe"
+               Platform.account_exn side_a.W5_federation.Sync.platform "zoe"
              in
              ignore
-               (Platform.write_user_record
-                  sync_side_a.W5_federation.Sync.platform account
-                  ~file:"profile"
+               (Platform.write_user_record side_a.W5_federation.Sync.platform
+                  account ~file:"profile"
                   (W5_store.Record.of_fields
                      [ ("user", "zoe"); ("rev", string_of_int !sync_counter) ]));
-             W5_federation.Sync.sync sync_link));
+             W5_federation.Sync.sync link));
     ]
 
 (* ------------------------------------------------------------------ *)
 (* federation-faults: convergence cost vs message drop rate            *)
 (* ------------------------------------------------------------------ *)
-
-let faulty_link, faulty_side_a =
-  let a =
-    { W5_federation.Sync.platform = Platform.create (); provider_name = "fa" }
-  in
-  let b =
-    { W5_federation.Sync.platform = Platform.create (); provider_name = "fb" }
-  in
-  List.iter
-    (fun (side : W5_federation.Sync.side) ->
-      match
-        Platform.signup side.W5_federation.Sync.platform ~user:"zoe"
-          ~password:"pw"
-      with
-      | Ok _ -> ()
-      | Error e -> failwith e)
-    [ a; b ];
-  match
-    W5_federation.Sync.establish ~a ~b ~user:"zoe" ~files:[ "profile" ] ()
-  with
-  | Ok link ->
-      ignore (W5_federation.Sync.sync link);
-      (link, a)
-  | Error e -> failwith e
 
 let faulty_counter = ref 0
 
@@ -599,26 +406,25 @@ let faulty_counter = ref 0
    reproducible schedule. *)
 let converge_under_drops ~drops () =
   incr faulty_counter;
-  W5_federation.Sync.set_faults faulty_link
+  let link = F.faulty_link () and side_a = F.faulty_side_a () in
+  W5_federation.Sync.set_faults link
     (W5_fault.Fault.of_seed ~drops ~delays:0 ~duplicates:0 ~crashes:0
        ~seed:!faulty_counter ());
-  let account =
-    Platform.account_exn faulty_side_a.W5_federation.Sync.platform "zoe"
-  in
+  let account = Platform.account_exn side_a.W5_federation.Sync.platform "zoe" in
   ignore
-    (Platform.write_user_record faulty_side_a.W5_federation.Sync.platform
-       account ~file:"profile"
+    (Platform.write_user_record side_a.W5_federation.Sync.platform account
+       ~file:"profile"
        (W5_store.Record.of_fields
           [ ("user", "zoe"); ("rev", string_of_int !faulty_counter) ]));
   let rec go n =
-    if n > 0 && not (W5_federation.Sync.converged faulty_link) then begin
-      ignore (W5_federation.Sync.sync faulty_link);
+    if n > 0 && not (W5_federation.Sync.converged link) then begin
+      ignore (W5_federation.Sync.sync link);
       go (n - 1)
     end
   in
   go 10
 
-let bench_federation_faults =
+let bench_federation_faults () =
   Test.make_grouped ~name:"federation-faults"
     [
       Test.make ~name:"converge-drops-0"
@@ -633,22 +439,19 @@ let bench_federation_faults =
 (* portability: whole-account export (E19)                             *)
 (* ------------------------------------------------------------------ *)
 
-let takeout_account =
-  Platform.account_exn on_society.W5_workload.Populate.platform on_u0_name
-
-let bench_portability =
+let bench_portability () =
+  let platform = (F.on_society ()).W5_workload.Populate.platform in
+  let takeout_account = Platform.account_exn platform (F.on_u0_name ()) in
   Test.make_grouped ~name:"portability"
     [
       Test.make ~name:"export-bundle"
         (staged (fun () ->
-             W5_federation.Migrate.export_bundle
-               on_society.W5_workload.Populate.platform takeout_account));
+             W5_federation.Migrate.export_bundle platform takeout_account));
       Test.make ~name:"encode-bundle"
         (staged
            (let bundle =
               match
-                W5_federation.Migrate.export_bundle
-                  on_society.W5_workload.Populate.platform takeout_account
+                W5_federation.Migrate.export_bundle platform takeout_account
               with
               | Ok b -> b
               | Error _ -> []
@@ -660,40 +463,30 @@ let bench_portability =
 (* syscall micro-costs under quota accounting (E7)                     *)
 (* ------------------------------------------------------------------ *)
 
-let syscall_ctx =
-  let kernel = W5_os.Kernel.create () in
-  let ctx = spawn_on kernel "bench" in
-  (match
-     W5_os.Syscall.create_file ctx "/bench-file" ~labels:Flow.bottom
-       ~data:(String.make 256 'x')
-   with
-  | Ok () -> ()
-  | Error _ -> assert false);
-  ctx
-
 let create_counter = ref 0
 
-let bench_syscall =
+let bench_syscall () =
+  let ctx = F.file_ctx () in
   Test.make_grouped ~name:"syscall"
     [
       Test.make ~name:"file-exists"
-        (staged (fun () -> W5_os.Syscall.file_exists syscall_ctx "/bench-file"));
+        (staged (fun () -> W5_os.Syscall.file_exists ctx "/bench-file"));
       Test.make ~name:"read-taint-256B"
-        (staged (fun () -> W5_os.Syscall.read_file_taint syscall_ctx "/bench-file"));
+        (staged (fun () -> W5_os.Syscall.read_file_taint ctx "/bench-file"));
       Test.make ~name:"read-strict-256B"
-        (staged (fun () -> W5_os.Syscall.read_file syscall_ctx "/bench-file"));
+        (staged (fun () -> W5_os.Syscall.read_file ctx "/bench-file"));
       Test.make ~name:"write-256B"
         (staged (fun () ->
-             W5_os.Syscall.write_file syscall_ctx "/bench-file"
+             W5_os.Syscall.write_file ctx "/bench-file"
                ~data:(String.make 256 'y')));
       Test.make ~name:"create-unlink"
         (staged (fun () ->
              incr create_counter;
              let path = Printf.sprintf "/bench-tmp-%d" !create_counter in
              ignore
-               (W5_os.Syscall.create_file syscall_ctx path ~labels:Flow.bottom
+               (W5_os.Syscall.create_file ctx path ~labels:Flow.bottom
                   ~data:"x");
-             W5_os.Syscall.unlink syscall_ctx path));
+             W5_os.Syscall.unlink ctx path));
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -703,37 +496,27 @@ let bench_syscall =
 (* Three kernels running the identical read: registry on (the
    default), registry off (one branch per metric site), and registry
    on with the tracer also recording spans. *)
-let obs_ctx_of kernel =
-  let ctx = spawn_on kernel "bench" in
-  (match
-     W5_os.Syscall.create_file ctx "/bench-file" ~labels:Flow.bottom
-       ~data:(String.make 256 'x')
-   with
-  | Ok () -> ()
-  | Error _ -> assert false);
-  ctx
-
-let metered_ctx = obs_ctx_of (W5_os.Kernel.create ())
-
-let unmetered_ctx =
-  let kernel = W5_os.Kernel.create () in
-  W5_obs.Metrics.set_enabled (W5_os.Kernel.metrics kernel) false;
-  obs_ctx_of kernel
-
-let traced_ctx =
-  let kernel = W5_os.Kernel.create () in
-  W5_obs.Tracer.set_enabled (W5_os.Kernel.tracer kernel) true;
-  obs_ctx_of kernel
-
-let obs_registry = W5_obs.Metrics.create ()
-
-let obs_counter =
-  W5_obs.Metrics.counter obs_registry "bench_counter" ~help:"bench"
-
-let obs_histogram =
-  W5_obs.Metrics.histogram obs_registry "bench_histogram" ~help:"bench"
-
-let bench_metrics =
+let bench_metrics () =
+  let metered_ctx = F.file_ctx () in
+  let unmetered_ctx =
+    let ctx = F.file_ctx () in
+    W5_obs.Metrics.set_enabled
+      (W5_os.Kernel.metrics ctx.W5_os.Kernel.kernel)
+      false;
+    ctx
+  in
+  let traced_ctx =
+    let ctx = F.file_ctx () in
+    W5_obs.Tracer.set_enabled (W5_os.Kernel.tracer ctx.W5_os.Kernel.kernel) true;
+    ctx
+  in
+  let obs_registry = W5_obs.Metrics.create () in
+  let obs_counter =
+    W5_obs.Metrics.counter obs_registry "bench_counter" ~help:"bench"
+  in
+  let obs_histogram =
+    W5_obs.Metrics.histogram obs_registry "bench_histogram" ~help:"bench"
+  in
   Test.make_grouped ~name:"metrics-overhead"
     [
       Test.make ~name:"read-taint-metered"
@@ -754,28 +537,28 @@ let bench_metrics =
 (* client-filter (E9)                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let page_clean =
-  Html.page ~title:"clean"
-    (String.concat ""
-       (List.init 100 (fun i -> Html.element "p" (Printf.sprintf "para %d" i))))
-
-let page_scripted =
-  Html.page ~title:"evil"
-    (String.concat ""
-       (List.init 100 (fun i ->
-            if i mod 10 = 0 then
-              "<script>alert(" ^ string_of_int i ^ ")</script>"
-            else Html.element "p" ~attrs:[ ("onclick", "x()") ] "text")))
-
-let page_marked =
-  Html.page ~title:"calendar"
-    (String.concat ""
-       (List.init 100 (fun i ->
-            if i mod 3 = 0 then
-              Declassifier.secret_span (Printf.sprintf "event %d" i)
-            else Html.element "p" "free slot")))
-
-let bench_filter =
+let bench_filter () =
+  let page_clean =
+    Html.page ~title:"clean"
+      (String.concat ""
+         (List.init 100 (fun i -> Html.element "p" (Printf.sprintf "para %d" i))))
+  in
+  let page_scripted =
+    Html.page ~title:"evil"
+      (String.concat ""
+         (List.init 100 (fun i ->
+              if i mod 10 = 0 then
+                "<script>alert(" ^ string_of_int i ^ ")</script>"
+              else Html.element "p" ~attrs:[ ("onclick", "x()") ] "text")))
+  in
+  let page_marked =
+    Html.page ~title:"calendar"
+      (String.concat ""
+         (List.init 100 (fun i ->
+              if i mod 3 = 0 then
+                Declassifier.secret_span (Printf.sprintf "event %d" i)
+              else Html.element "p" "free slot")))
+  in
   Test.make_grouped ~name:"client-filter"
     [
       Test.make ~name:"redact-marked-10KB"
@@ -792,64 +575,35 @@ let bench_filter =
 (* collaboration: groups and messaging                                 *)
 (* ------------------------------------------------------------------ *)
 
-let collab_platform, collab_group, collab_founder, collab_member =
-  let platform = Platform.create () in
-  let founder =
-    match Platform.signup platform ~user:"founder" ~password:"pw" with
-    | Ok a -> a
-    | Error e -> failwith e
-  in
-  let member =
-    match Platform.signup platform ~user:"member" ~password:"pw" with
-    | Ok a -> a
-    | Error e -> failwith e
-  in
-  let group =
-    match Group.create platform ~founder ~name:"bench-circle" with
-    | Ok g -> g
-    | Error e -> failwith e
-  in
-  (match Group.add_member platform group ~user:"member" with
-  | Ok () -> ()
-  | Error e -> failwith e);
-  List.iter
-    (fun i ->
-      match
-        Group.post platform group ~author:founder
-          ~id:(Printf.sprintf "seed%02d" i)
-          ~body:"seeded post"
-      with
-      | Ok () -> ()
-      | Error _ -> assert false)
-    (List.init 20 Fun.id);
-  (platform, group, founder, member)
-
 let group_post_counter = ref 0
 
-let bench_collab =
+let bench_collab () =
+  let platform = F.collab_platform ()
+  and group = F.collab_group ()
+  and founder = F.collab_founder ()
+  and member = F.collab_member () in
   (* read and caps lookups run before the post bench floods the
      directory, so "20 posts" stays honest *)
   Test.make_grouped ~name:"collaboration"
     [
       Test.make ~name:"member-caps-lookup"
-        (staged (fun () -> Group.member_caps collab_platform ~user:"member"));
+        (staged (fun () -> Group.member_caps platform ~user:"member"));
       Test.make ~name:"group-read-20-posts"
-        (staged (fun () ->
-             Group.read_posts collab_platform collab_group
-               ~reader:collab_member));
+        (staged (fun () -> Group.read_posts platform group ~reader:member));
       Test.make ~name:"group-post"
         (staged (fun () ->
              incr group_post_counter;
-             Group.post collab_platform collab_group ~author:collab_founder
+             Group.post platform group ~author:founder
                ~id:(Printf.sprintf "p%06d" !group_post_counter)
                ~body:"benchmark post"));
     ]
 
 (* ------------------------------------------------------------------ *)
-(* rank-ablation: HITS vs PageRank (DESIGN Â§5)                          *)
+(* rank-ablation: HITS vs PageRank (DESIGN §5)                          *)
 (* ------------------------------------------------------------------ *)
 
-let bench_rank_ablation =
+let bench_rank_ablation () =
+  let graph_100 = F.graph_100 () and graph_1000 = F.graph_1000 () in
   Test.make_grouped ~name:"rank-ablation"
     [
       Test.make ~name:"hits-100"
@@ -862,31 +616,25 @@ let bench_rank_ablation =
 (* durability: filesystem snapshot / restore                           *)
 (* ------------------------------------------------------------------ *)
 
-let durability_fs = W5_os.Kernel.fs (Platform.kernel on_society.W5_workload.Populate.platform)
-let durability_image = W5_os.Fs.snapshot durability_fs
-
-let bench_durability =
+let bench_durability () =
+  let fs =
+    W5_os.Kernel.fs
+      (Platform.kernel (F.on_society ()).W5_workload.Populate.platform)
+  in
+  let image = W5_os.Fs.snapshot fs in
   Test.make_grouped ~name:"durability"
     [
       Test.make ~name:"snapshot-populated-fs"
-        (staged (fun () -> W5_os.Fs.snapshot durability_fs));
+        (staged (fun () -> W5_os.Fs.snapshot fs));
       Test.make ~name:"restore-populated-fs"
-        (staged (fun () -> W5_os.Fs.restore_into durability_fs durability_image));
+        (staged (fun () -> W5_os.Fs.restore_into fs image));
     ]
 
 (* ------------------------------------------------------------------ *)
 (* scaling: trace replay vs society size                               *)
 (* ------------------------------------------------------------------ *)
 
-let scaling_societies =
-  List.map
-    (fun n ->
-      ( n,
-        W5_workload.Populate.build ~seed:23 ~users:n ~friends_per_user:3
-          ~photos_per_user:1 ~blog_posts_per_user:1 () ))
-    [ 5; 20 ]
-
-let bench_scaling =
+let bench_scaling () =
   Test.make_grouped ~name:"scaling"
     (List.map
        (fun (n, society) ->
@@ -898,120 +646,36 @@ let bench_scaling =
          Test.make
            ~name:(Printf.sprintf "replay-50-actions-%d-users" n)
            (staged (fun () -> W5_workload.Trace.replay society actions)))
-       scaling_societies)
+       (F.scaling_societies ()))
 
 (* ------------------------------------------------------------------ *)
 (* provenance: graph reconstruction cost vs audit-log size             *)
 (* ------------------------------------------------------------------ *)
 
-(* A synthetic but representative audit log: a bounded population of
-   processes, paths and tags generating the same event mix a provider
-   sees (taints, checked flows, object labelings, declassifications,
-   spawns, a denial and an export attempt per "request"). Sizes are
-   the retained entry counts the graph builder must chew through. *)
-let synthetic_audit_log n =
-  let log = W5_os.Audit.create () in
-  let n_tags = 16 and n_paths = 64 and n_pids = 32 in
-  let tags =
-    Array.init n_tags (fun i ->
-        Tag.fresh ~name:(Printf.sprintf "bench.tag%02d" i) Tag.Secrecy)
-  in
-  let label i = Label.singleton tags.(i mod n_tags) in
-  let labels i = Flow.make ~secrecy:(label i) () in
-  let path i = Printf.sprintf "/users/u%02d/file%02d" (i mod 8) (i mod n_paths) in
-  let pid i = 1 + (i mod n_pids) in
-  let record i ev = W5_os.Audit.record log ~tick:i ~pid:(pid i) ev in
-  for i = 0 to n - 1 do
-    match i mod 8 with
-    | 0 ->
-        record i
-          (W5_os.Audit.Spawned
-             { child = pid (i + 1); name = Printf.sprintf "app%02d" (i mod 12);
-               labels = labels i })
-    | 1 | 2 ->
-        record i
-          (W5_os.Audit.Tainted
-             { op = "fs.read_taint"; subject = W5_os.Audit.File (path i);
-               added = label i })
-    | 3 ->
-        record i
-          (W5_os.Audit.Object_labeled
-             { op = "fs.create"; path = path i; labels = labels i })
-    | 4 ->
-        record i
-          (W5_os.Audit.Flow_checked
-             { op = "fs.write"; src = labels i; dst = labels (i + 1);
-               decision = Error (Flow.Secrecy_violation (label i));
-               subject = W5_os.Audit.File (path i) })
-    | 5 ->
-        record i
-          (W5_os.Audit.Declassified
-             { tag = tags.(i mod n_tags); context = "declass/bench/friends" })
-    | 6 ->
-        record i
-          (W5_os.Audit.Export_attempted
-             { destination = "viewer's browser"; labels = labels i;
-               decision = (if i mod 16 = 6 then
-                             Error (Flow.Secrecy_violation (label i))
-                           else Ok ()) })
-    | _ ->
-        record i
-          (W5_os.Audit.Tainted
-             { op = "ipc.recv"; subject = W5_os.Audit.Peer (pid (i + 3));
-               added = label (i + 1) })
-  done;
-  log
-
-let provenance_logs =
-  List.map (fun n -> (n, synthetic_audit_log n)) [ 1_000; 10_000; 100_000 ]
-
-(* explain latency: resolve the last denial of the largest log against
-   a prebuilt graph — the interactive `w5 explain` path. *)
-let provenance_big_log = List.assoc 100_000 provenance_logs
-let provenance_big_graph = W5_os.Explain.graph provenance_big_log
-
-let bench_provenance =
+let bench_provenance () =
+  let logs = F.provenance_logs () in
+  let big_log = F.provenance_big_log () in
+  let big_graph = F.provenance_big_graph () in
   Test.make_grouped ~name:"provenance"
     (List.map
        (fun (n, log) ->
          Test.make
            ~name:(Printf.sprintf "graph-build-%dk-entries" (n / 1000))
            (staged (fun () -> W5_os.Explain.graph log)))
-       provenance_logs
+       logs
     @ [
         Test.make ~name:"explain-denial-100k"
           (staged (fun () ->
-               match
-                 W5_os.Explain.find_denial provenance_big_log ()
-               with
+               match W5_os.Explain.find_denial big_log () with
                | None -> failwith "bench: no denial in synthetic log"
-               | Some entry ->
-                   W5_os.Explain.explain provenance_big_graph entry));
+               | Some entry -> W5_os.Explain.explain big_graph entry));
       ])
 
 (* ------------------------------------------------------------------ *)
 (* vet: whole-platform static analysis time vs. ecosystem size         *)
 (* ------------------------------------------------------------------ *)
 
-let vet_platform modules =
-  let platform = Platform.create () in
-  List.iter
-    (fun user ->
-      match Platform.signup platform ~user ~password:"pw" with
-      | Error e -> failwith ("bench: vet signup: " ^ e)
-      | Ok account ->
-          ignore
-            (Declassifier.install_and_authorize platform ~account
-               ~name:"friends" Declassifier.friends_only))
-    [ "veta"; "vetb"; "vetc"; "vetd" ];
-  ignore
-    (W5_workload.Populate.fill_dependency_graph platform ~modules
-       ~imports_per_module:3);
-  platform
-
-let vet_platforms = List.map (fun n -> (n, vet_platform n)) [ 10; 100; 1000 ]
-
-let bench_vet =
+let bench_vet () =
   Test.make_grouped ~name:"vet"
     (List.map
        (fun (n, platform) ->
@@ -1019,42 +683,43 @@ let bench_vet =
            ~name:(Printf.sprintf "capture-analyze-%d-apps" n)
            (staged (fun () ->
                 W5_analysis.Vet.analyze (W5_analysis.Static.capture platform))))
-       vet_platforms)
+       (F.vet_platforms ()))
 
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let groups =
+let group_thunks =
   [
-    bench_fig1;
-    bench_e2e;
-    bench_label_ops;
-    bench_perimeter;
-    bench_declassifier;
-    bench_query;
-    bench_query_index;
-    bench_pagerank;
-    bench_rank_ablation;
-    bench_collab;
-    bench_durability;
-    bench_scaling;
-    bench_federation;
-    bench_federation_faults;
-    bench_portability;
-    bench_syscall;
-    bench_metrics;
-    bench_filter;
-    bench_provenance;
-    bench_vet;
+    ("fig1-baseline", bench_fig1);
+    ("e2e-request", bench_e2e);
+    ("label-ops", bench_label_ops);
+    ("export-check", bench_perimeter);
+    ("declassifier", bench_declassifier);
+    ("query-taint", bench_query);
+    ("query-index", bench_query_index);
+    ("pagerank", bench_pagerank);
+    ("rank-ablation", bench_rank_ablation);
+    ("collaboration", bench_collab);
+    ("durability", bench_durability);
+    ("scaling", bench_scaling);
+    ("federation-sync", bench_federation);
+    ("federation-faults", bench_federation_faults);
+    ("portability", bench_portability);
+    ("syscall", bench_syscall);
+    ("metrics-overhead", bench_metrics);
+    ("client-filter", bench_filter);
+    ("provenance", bench_provenance);
+    ("vet", bench_vet);
   ]
 
-(* --smoke: one tiny iteration per group, for CI — proves every bench
-   fixture and body still runs, without measuring anything. *)
+(* --smoke: one tiny iteration per test in every group, for CI —
+   proves every bench fixture and body still runs, without measuring
+   anything. *)
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
-(* --only NAME: run a single group (CI smokes the expensive groups
-   individually; fixtures still build — they are module-level). *)
+(* --only NAME: run a single group. Fixtures are lazy, so only the
+   worlds NAME touches get built. *)
 let only =
   let rec find = function
     | "--only" :: name :: _ -> Some name
@@ -1063,10 +728,20 @@ let only =
   in
   find (Array.to_list Sys.argv)
 
-let groups =
+(* --json-dir DIR: additionally write one BENCH_<group>.json baseline
+   per group run (schema in W5_obs.Baseline), for `w5 perf`. *)
+let json_dir =
+  let rec find = function
+    | "--json-dir" :: dir :: _ -> Some dir
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let selected =
   match only with
-  | None -> groups
-  | Some name -> List.filter (fun g -> Test.name g = name) groups
+  | None -> group_thunks
+  | Some name -> List.filter (fun (n, _) -> n = name) group_thunks
 
 let run_and_analyze test =
   let ols =
@@ -1082,7 +757,7 @@ let run_and_analyze test =
         ~stabilize:false ()
   in
   let raw = Benchmark.all cfg [ instance ] test in
-  Analyze.all ols instance raw
+  (raw, Analyze.all ols instance raw)
 
 let estimate results name =
   match Hashtbl.find_opt results name with
@@ -1091,6 +766,38 @@ let estimate results name =
       match Analyze.OLS.estimates ols with
       | Some (t :: _) -> Some t
       | Some [] | None -> None)
+
+(* bechamel names tests "group/test"; baseline entries keep just the
+   test part since the group is the file. *)
+let strip_group_prefix ~group_name name =
+  let prefix = group_name ^ "/" in
+  let pn = String.length prefix in
+  if String.length name > pn && String.sub name 0 pn = prefix then
+    String.sub name pn (String.length name - pn)
+  else name
+
+let baseline_of_group ~group_name ~raw ~results names =
+  let entries =
+    List.filter_map
+      (fun name ->
+        match (estimate results name, Hashtbl.find_opt raw name) with
+        | Some ns, Some (b : Benchmark.t) ->
+            let r2 =
+              match Hashtbl.find_opt results name with
+              | Some ols -> Option.value ~default:0.0 (Analyze.OLS.r_square ols)
+              | None -> 0.0
+            in
+            Some
+              {
+                W5_obs.Baseline.e_name = strip_group_prefix ~group_name name;
+                e_runs = b.Benchmark.stats.samples;
+                e_ns = ns;
+                e_r2 = r2;
+              }
+        | _ -> None)
+      names
+  in
+  W5_obs.Baseline.make_group ~name:group_name entries
 
 let pp_ns fmt t =
   if t > 1e6 then Format.fprintf fmt "%10.3f ms" (t /. 1e6)
@@ -1101,10 +808,13 @@ let () =
   Printf.printf "W5 benchmark harness (one group per DESIGN.md experiment)\n";
   Printf.printf "==========================================================\n%!";
   let all_results = Hashtbl.create 128 in
+  let baselines = ref [] in
   List.iter
-    (fun group ->
-      Printf.printf "\n[%s]\n%!" (Test.name group);
-      let results = run_and_analyze group in
+    (fun (group_name, thunk) ->
+      Printf.printf "\n[%s]\n%!" group_name;
+      let group = thunk () in
+      let raw, results = run_and_analyze group in
+      let names = Test.names group in
       (* stable presentation: the declared test order *)
       List.iter
         (fun name ->
@@ -1113,8 +823,10 @@ let () =
               Hashtbl.replace all_results name t;
               Format.printf "  %-45s %a/run@." name pp_ns t
           | None -> Format.printf "  %-45s (no estimate)@." name)
-        (Test.names group))
-    groups;
+        names;
+      if json_dir <> None then
+        baselines := baseline_of_group ~group_name ~raw ~results names :: !baselines)
+    selected;
 
   (* the "shape" summary: who wins and by what factor *)
   let ratio a b =
@@ -1163,5 +875,12 @@ let () =
   print_ratio "OBS tracing overhead (traced/metered tainting read)"
     "metrics-overhead/read-taint-traced"
     "metrics-overhead/read-taint-metered";
-  report_rows_scanned ();
+  if List.mem_assoc "query-index" selected then report_rows_scanned ();
+  (match json_dir with
+  | None -> ()
+  | Some dir ->
+      let groups = List.rev !baselines in
+      W5_obs.Baseline.save_dir ~dir groups;
+      Printf.printf "\nwrote %d BENCH_<group>.json file(s) to %s\n"
+        (List.length groups) dir);
   Printf.printf "\nbench: done\n"

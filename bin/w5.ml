@@ -491,7 +491,15 @@ let stats seed users format =
   let metrics = W5_os.Kernel.metrics kernel in
   (match format with
   | "json" -> print_string (W5_obs.Exposition.json metrics)
-  | _ -> print_string (W5_obs.Exposition.prometheus metrics));
+  | _ ->
+      print_string (W5_obs.Exposition.prometheus metrics);
+      (* the JSON exposition embeds p50/p95/p99 per histogram series;
+         mirror them here as a separate quantile section *)
+      let summaries = W5_obs.Exposition.summaries metrics in
+      if summaries <> "" then begin
+        print_string "\n# histogram quantiles (logical ticks)\n";
+        print_string summaries
+      end);
   print_newline ();
   let tracer = W5_os.Kernel.tracer kernel in
   Printf.printf "# traces dropped from the completed ring: %d\n"
@@ -574,6 +582,132 @@ let vet_cmd =
              2 warning, 3 high, 4 critical or unsound).")
     term
 
+(* ---- w5 perf: committed bench baselines and the regression gate ---- *)
+
+let ( let* ) r f =
+  match r with Error e -> `Error (false, e) | Ok v -> f v
+
+let perf_dir_arg =
+  Arg.(value & opt string "." & info [ "dir" ] ~docv:"DIR"
+         ~doc:"Directory holding the committed BENCH_*.json baselines \
+               (default: the current directory, i.e. the repo root).")
+
+let perf_fresh_arg =
+  Arg.(required & opt (some string) None & info [ "fresh" ] ~docv:"DIR"
+         ~doc:"Directory holding a fresh run's BENCH_*.json files, as \
+               written by bench/main.exe --json-dir $(docv).")
+
+let perf_load_baselines dir =
+  match W5_obs.Baseline.load_dir dir with
+  | Error e -> Error e
+  | Ok [] -> Error ("no BENCH_*.json baselines in " ^ dir)
+  | Ok groups -> Ok groups
+
+let perf_report dir =
+  let* groups = perf_load_baselines dir in
+  List.iter
+    (fun (g : W5_obs.Baseline.group) ->
+      Printf.printf "[%s]  (regression threshold +%.0f%%)\n"
+        g.W5_obs.Baseline.g_name
+        (100.0 *. W5_obs.Baseline.group_threshold g.W5_obs.Baseline.g_name);
+      List.iter
+        (fun (e : W5_obs.Baseline.entry) ->
+          Printf.printf "  %-45s %12s/op   runs=%-6d r2=%.4f\n"
+            e.W5_obs.Baseline.e_name
+            (W5_obs.Baseline.pp_ns e.W5_obs.Baseline.e_ns)
+            e.W5_obs.Baseline.e_runs e.W5_obs.Baseline.e_r2)
+        g.W5_obs.Baseline.g_entries)
+    groups;
+  `Ok ()
+
+let perf_report_cmd =
+  let term = Term.(ret (const perf_report $ perf_dir_arg)) in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render the committed bench baselines: ns/op per test with \
+             run counts, fit quality, and each group's regression \
+             threshold.")
+    term
+
+let perf_diff dir fresh_dir format names_only =
+  let* baseline = perf_load_baselines dir in
+  let* fresh = W5_obs.Baseline.load_dir fresh_dir in
+  let findings =
+    W5_obs.Baseline.compare_runs ~names_only ~baseline ~fresh ()
+  in
+  (match format with
+  | "json" -> print_string (W5_obs.Baseline.render_json findings)
+  | _ -> print_string (W5_obs.Baseline.render_text findings));
+  if W5_obs.Baseline.has_regression findings then exit 1 else `Ok ()
+
+let perf_diff_cmd =
+  let format =
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: text (default) or json.")
+  in
+  let names_only =
+    Arg.(value & flag & info [ "schema-only" ]
+           ~doc:"Compare structure only — groups and test names, no \
+                 timing values. This is what CI's smoke-mode gate runs: \
+                 smoke timings are meaningless, vanished benches are not.")
+  in
+  let term =
+    Term.(ret (const perf_diff $ perf_dir_arg $ perf_fresh_arg $ format
+               $ names_only))
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare a fresh bench run against the committed baselines \
+             under per-group relative thresholds. Exits 1 on a \
+             regression or a vanished group/test; improvements and new \
+             entries are informational.")
+    term
+
+let perf_record dir fresh_dir =
+  let* fresh =
+    match W5_obs.Baseline.load_dir fresh_dir with
+    | Ok [] -> Error ("no BENCH_*.json files in " ^ fresh_dir)
+    | r -> r
+  in
+  W5_obs.Baseline.save_dir ~dir fresh;
+  List.iter
+    (fun (g : W5_obs.Baseline.group) ->
+      Printf.printf "recorded %s (%d tests)\n"
+        (W5_obs.Baseline.filename ~group_name:g.W5_obs.Baseline.g_name)
+        (List.length g.W5_obs.Baseline.g_entries))
+    fresh;
+  `Ok ()
+
+let perf_record_cmd =
+  let term = Term.(ret (const perf_record $ perf_dir_arg $ perf_fresh_arg)) in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Promote a fresh run's BENCH_*.json files to committed \
+             baselines (re-encodes through the schema, so the files are \
+             byte-stable).")
+    term
+
+let perf_schema dir =
+  let* groups = perf_load_baselines dir in
+  print_string (W5_obs.Baseline.schema_skeleton groups);
+  `Ok ()
+
+let perf_schema_cmd =
+  let term = Term.(ret (const perf_schema $ perf_dir_arg)) in
+  Cmd.v
+    (Cmd.info "schema"
+       ~doc:"Print the baseline schema skeleton — group and test names \
+             plus field layout, none of the values. CI byte-diffs this \
+             against test/golden/bench_schema.txt.")
+    term
+
+let perf_cmd =
+  Cmd.group
+    (Cmd.info "perf"
+       ~doc:"Performance baselines: report committed numbers, diff a \
+             fresh run against them, record new baselines.")
+    [ perf_report_cmd; perf_diff_cmd; perf_record_cmd; perf_schema_cmd ]
+
 (* ---- w5 experiments: the index ---- *)
 
 let experiments () =
@@ -617,6 +751,6 @@ let main_cmd =
   Cmd.group info
     [ serve_cmd; audit_cmd; explain_cmd; provenance_cmd; audit_report_cmd;
       rank_cmd; sync_cmd; trace_cmd; export_cmd; stats_cmd; vet_cmd;
-      experiments_cmd ]
+      perf_cmd; experiments_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

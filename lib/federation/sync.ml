@@ -713,7 +713,21 @@ let meter_crash link =
        "w5_sync_crashes_total"
        ~help:"Sync rounds aborted by a provider crash")
 
+(* Round latency in side A's logical ticks: retries, backoff pauses,
+   and per-file kernel crossings all drive that clock, so a faulty
+   round is visibly slower than a clean one. Labeled by outcome (a
+   closed set) so crashed rounds don't skew the happy-path quantiles. *)
+let observe_round_ticks link ~t0 ~outcome =
+  W5_obs.Metrics.observe
+    (W5_obs.Perf.latency
+       (Kernel.metrics (home_kernel link))
+       "w5_sync_round_ticks"
+       ~help:"Logical ticks consumed per federation sync round, by outcome")
+    ~labels:[ ("outcome", outcome) ]
+    (Kernel.tick (home_kernel link) - t0)
+
 let sync link =
+  let t0 = Kernel.tick (home_kernel link) in
   (* crash-restart recovery first: replay any write-ahead intent a
      previous round left behind *)
   let recovered = recover link in
@@ -756,13 +770,16 @@ let sync link =
           timed_out = counters.c_timed_out }
       in
       meter_round link stats;
+      observe_round_ticks link ~t0 ~outcome:"ok";
       (* refresh the durable clocks only when something moved them *)
       if link.seen_dirty then begin
         persist_seen link;
         link.seen_dirty <- false
       end;
       Ok stats
-  | Error _ as e -> e
+  | Error _ as e ->
+      observe_round_ticks link ~t0 ~outcome:"error";
+      e
 
 let converged link =
   let account_a = Platform.account_exn link.side_a.platform link.link_user in

@@ -1,0 +1,455 @@
+(* Committed bench baselines and the regression comparator.
+
+   The bench harness emits one BENCH_<group>.json per bechamel group;
+   those files are committed at the repo root and become the point of
+   comparison for every later run: `w5 perf diff` loads both sides,
+   applies per-group relative thresholds, and exits non-zero on a
+   regression (or on a vanished group/test — schema drift is a failure
+   too, so a bench can't "pass" by silently not running).
+
+   The schema is deliberately tiny and sorted everywhere, so the files
+   byte-diff cleanly in review:
+
+     { "schema_version": 1,
+       "group": "e2e-request",
+       "results": [
+         { "name": "denied-view-403", "runs": 3000,
+           "ns_per_op": 10294.5, "r_squared": 0.9981 }, ... ] }
+
+   Only structural facts appear — group names, test names, sample
+   counts, nanoseconds — never request payloads or user bytes. *)
+
+type entry = {
+  e_name : string;
+  e_runs : int;
+  e_ns : float;  (* ns/op point estimate (OLS slope) *)
+  e_r2 : float;  (* goodness of fit; 0.0 when unavailable *)
+}
+
+type group = {
+  g_name : string;
+  g_entries : entry list;  (* sorted by e_name *)
+}
+
+let schema_version = 1
+let filename ~group_name = "BENCH_" ^ group_name ^ ".json"
+
+(* NaN/inf never enter the files: smoke runs (one sample) can produce
+   degenerate fits, and "nan" is not JSON. *)
+let sane f = if Float.is_nan f || Float.is_infinite f then 0.0 else f
+
+let make_group ~name entries =
+  {
+    g_name = name;
+    g_entries =
+      List.sort (fun a b -> String.compare a.e_name b.e_name)
+        (List.map (fun e -> { e with e_ns = sane e.e_ns; e_r2 = sane e.e_r2 })
+           entries);
+  }
+
+(* ---- encoding ---- *)
+
+let to_json g =
+  let entry e =
+    Printf.sprintf
+      "    { \"name\": %s, \"runs\": %d, \"ns_per_op\": %.1f, \
+       \"r_squared\": %.4f }"
+      (Exposition.json_string e.e_name)
+      e.e_runs e.e_ns e.e_r2
+  in
+  Printf.sprintf
+    "{\n  \"schema_version\": %d,\n  \"group\": %s,\n  \"results\": [\n%s\n  ]\n}\n"
+    schema_version
+    (Exposition.json_string g.g_name)
+    (String.concat ",\n" (List.map entry g.g_entries))
+
+(* ---- a minimal JSON reader (we parse only what we emit) ---- *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+exception Parse of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance (); Buffer.contents buf
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | None -> fail "bad \\u escape"
+              | Some code ->
+                  (* our own encoder only emits \u00XX control bytes *)
+                  Buffer.add_char buf (Char.chr (code land 0xff)));
+              pos := !pos + 4;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> J_num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); J_obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((key, v) :: acc)
+            | Some '}' -> advance (); J_obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); J_list [] end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); J_list (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+        end
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing bytes";
+  v
+
+let of_json text =
+  match parse_json text with
+  | exception Parse msg -> Error msg
+  | J_obj fields -> (
+      let get name = List.assoc_opt name fields in
+      let num = function Some (J_num f) -> Some f | _ -> None in
+      let str = function Some (J_str v) -> Some v | _ -> None in
+      match (num (get "schema_version"), str (get "group"), get "results") with
+      | Some v, _, _ when int_of_float v <> schema_version ->
+          Error
+            (Printf.sprintf "unsupported schema_version %d (want %d)"
+               (int_of_float v) schema_version)
+      | Some _, Some name, Some (J_list results) -> (
+          let entry = function
+            | J_obj f -> (
+                let get' k = List.assoc_opt k f in
+                match
+                  ( str (get' "name"), num (get' "runs"),
+                    num (get' "ns_per_op"), num (get' "r_squared") )
+                with
+                | Some e_name, Some runs, Some e_ns, Some e_r2 ->
+                    Ok { e_name; e_runs = int_of_float runs; e_ns; e_r2 }
+                | _ -> Error "result entry missing a required field")
+            | _ -> Error "result entry is not an object"
+          in
+          let rec all acc = function
+            | [] -> Ok (List.rev acc)
+            | r :: rest -> (
+                match entry r with
+                | Ok e -> all (e :: acc) rest
+                | Error _ as e -> e)
+          in
+          match all [] results with
+          | Error e -> Error e
+          | Ok entries -> Ok (make_group ~name entries))
+      | _ -> Error "missing schema_version, group, or results")
+  | _ -> Error "top level is not an object"
+
+(* ---- file IO ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_file path =
+  match read_file path with
+  | exception Sys_error e -> Error e
+  | text -> (
+      match of_json text with
+      | Ok g -> Ok g
+      | Error e -> Error (path ^ ": " ^ e))
+
+(* Every BENCH_*.json in [dir], sorted by group name. *)
+let load_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error e -> Error e
+  | names ->
+      let baselines =
+        Array.to_list names
+        |> List.filter (fun f ->
+               String.length f > 6
+               && String.sub f 0 6 = "BENCH_"
+               && Filename.check_suffix f ".json")
+        |> List.sort String.compare
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | f :: rest -> (
+            match load_file (Filename.concat dir f) with
+            | Ok g -> go (g :: acc) rest
+            | Error _ as e -> e)
+      in
+      Result.map
+        (List.sort (fun a b -> String.compare a.g_name b.g_name))
+        (go [] baselines)
+
+let save_dir ~dir groups =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun g ->
+      let path = Filename.concat dir (filename ~group_name:g.g_name) in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (to_json g)))
+    groups
+
+(* ---- comparison ---- *)
+
+(* A fresh run is "no worse" when fresh <= base * (1 + threshold).
+   Thresholds are relative and generous by design: bechamel point
+   estimates on sub-100ns operations jitter tens of percent between
+   runs on the same machine, and more across machines. The per-group
+   table widens the noisy micro-groups; everything else gets the
+   default. An absolute floor skips entries too small to compare
+   meaningfully (smoke runs, empty estimates). *)
+let default_threshold = 0.5
+let min_comparable_ns = 1.0
+
+let group_threshold ?(default = default_threshold) name =
+  match name with
+  | "label-ops" | "syscall" | "metrics-overhead" | "export-check" -> 1.0
+  | _ -> default
+
+type finding =
+  | Regression of {
+      group : string; name : string;
+      base_ns : float; fresh_ns : float; threshold : float;
+    }
+  | Improvement of { group : string; name : string;
+                     base_ns : float; fresh_ns : float }
+  | Missing_group of string
+  | Missing_test of { group : string; name : string }
+  | New_group of string
+  | New_test of { group : string; name : string }
+
+(* Missing groups/tests fail the gate alongside slowdowns: a bench
+   that stopped running is indistinguishable from one that stopped
+   being measured. New entries are informational — they mean "re-record
+   the baselines", not "the code got slower". *)
+let finding_fails = function
+  | Regression _ | Missing_group _ | Missing_test _ -> true
+  | Improvement _ | New_group _ | New_test _ -> false
+
+let has_regression findings = List.exists finding_fails findings
+
+(* [names_only] compares structure (groups and test names) and ignores
+   the numbers — the CI smoke gate, where one-iteration estimates are
+   noise. *)
+let compare_runs ?threshold ?(names_only = false) ~baseline ~fresh () =
+  let fresh_of name = List.find_opt (fun g -> g.g_name = name) fresh in
+  let base_of name = List.find_opt (fun g -> g.g_name = name) baseline in
+  let per_group g =
+    match fresh_of g.g_name with
+    | None -> [ Missing_group g.g_name ]
+    | Some fg ->
+        let t = group_threshold ?default:threshold g.g_name in
+        List.concat_map
+          (fun e ->
+            match
+              List.find_opt (fun f -> f.e_name = e.e_name) fg.g_entries
+            with
+            | None -> [ Missing_test { group = g.g_name; name = e.e_name } ]
+            | Some f ->
+                if names_only then []
+                else if e.e_ns < min_comparable_ns
+                        || f.e_ns < min_comparable_ns then []
+                else if f.e_ns > e.e_ns *. (1.0 +. t) then
+                  [ Regression
+                      { group = g.g_name; name = e.e_name;
+                        base_ns = e.e_ns; fresh_ns = f.e_ns; threshold = t } ]
+                else if f.e_ns *. (1.0 +. t) < e.e_ns then
+                  [ Improvement
+                      { group = g.g_name; name = e.e_name;
+                        base_ns = e.e_ns; fresh_ns = f.e_ns } ]
+                else [])
+          g.g_entries
+  in
+  let missing_side = List.concat_map per_group baseline in
+  let new_side =
+    List.concat_map
+      (fun fg ->
+        match base_of fg.g_name with
+        | None -> [ New_group fg.g_name ]
+        | Some bg ->
+            List.filter_map
+              (fun f ->
+                if List.exists (fun e -> e.e_name = f.e_name) bg.g_entries
+                then None
+                else Some (New_test { group = fg.g_name; name = f.e_name }))
+              fg.g_entries)
+      fresh
+  in
+  missing_side @ new_side
+
+(* ---- rendering ---- *)
+
+let pp_ns ns =
+  if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+  else Printf.sprintf "%.1f ns" ns
+
+let render_finding = function
+  | Regression { group; name; base_ns; fresh_ns; threshold } ->
+      Printf.sprintf
+        "REGRESSION  %s/%s: %s -> %s (%.2fx, threshold %.0f%%)" group name
+        (pp_ns base_ns) (pp_ns fresh_ns) (fresh_ns /. base_ns)
+        (threshold *. 100.0)
+  | Improvement { group; name; base_ns; fresh_ns } ->
+      Printf.sprintf "improvement %s/%s: %s -> %s (%.2fx)" group name
+        (pp_ns base_ns) (pp_ns fresh_ns) (fresh_ns /. base_ns)
+  | Missing_group group ->
+      Printf.sprintf "MISSING     group %s absent from the fresh run" group
+  | Missing_test { group; name } ->
+      Printf.sprintf "MISSING     %s/%s absent from the fresh run" group name
+  | New_group group ->
+      Printf.sprintf "new         group %s has no committed baseline \
+                      (re-record)" group
+  | New_test { group; name } ->
+      Printf.sprintf "new         %s/%s has no committed baseline \
+                      (re-record)" group name
+
+let render_text findings =
+  if findings = [] then "perf: no change beyond thresholds\n"
+  else
+    String.concat ""
+      (List.map (fun f -> render_finding f ^ "\n") findings)
+    ^ (if has_regression findings then "perf: REGRESSION\n" else "perf: ok\n")
+
+let finding_json f =
+  let js = Exposition.json_string in
+  let obj fields =
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> js k ^ ":" ^ v) fields)
+    ^ "}"
+  in
+  match f with
+  | Regression { group; name; base_ns; fresh_ns; threshold } ->
+      obj
+        [ ("kind", js "regression"); ("group", js group); ("name", js name);
+          ("base_ns", Printf.sprintf "%.1f" base_ns);
+          ("fresh_ns", Printf.sprintf "%.1f" fresh_ns);
+          ("threshold", Printf.sprintf "%.2f" threshold) ]
+  | Improvement { group; name; base_ns; fresh_ns } ->
+      obj
+        [ ("kind", js "improvement"); ("group", js group); ("name", js name);
+          ("base_ns", Printf.sprintf "%.1f" base_ns);
+          ("fresh_ns", Printf.sprintf "%.1f" fresh_ns) ]
+  | Missing_group group -> obj [ ("kind", js "missing_group"); ("group", js group) ]
+  | Missing_test { group; name } ->
+      obj [ ("kind", js "missing_test"); ("group", js group); ("name", js name) ]
+  | New_group group -> obj [ ("kind", js "new_group"); ("group", js group) ]
+  | New_test { group; name } ->
+      obj [ ("kind", js "new_test"); ("group", js group); ("name", js name) ]
+
+let render_json findings =
+  Printf.sprintf "{\"regression\":%b,\"findings\":[%s]}\n"
+    (has_regression findings)
+    (String.concat "," (List.map finding_json findings))
+
+(* The schema skeleton: group and test names plus the field layout,
+   none of the values. CI byte-diffs this against a committed golden,
+   so the file format can only change deliberately. *)
+let schema_skeleton groups =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "# BENCH_<group>.json schema v%d: results sorted by name, fields \
+        name/runs/ns_per_op/r_squared\n"
+       schema_version);
+  List.iter
+    (fun g ->
+      Buffer.add_string buf (filename ~group_name:g.g_name ^ "\n");
+      List.iter
+        (fun e -> Buffer.add_string buf ("  " ^ e.e_name ^ "\n"))
+        g.g_entries)
+    groups;
+  Buffer.contents buf

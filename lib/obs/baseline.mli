@@ -1,0 +1,115 @@
+(** Committed bench baselines and the regression comparator.
+
+    The bench harness writes one [BENCH_<group>.json] per group; those
+    files are committed at the repo root. This module owns the schema
+    (emit {e and} parse, so the two can't drift), loads a directory of
+    baselines, compares a fresh run against them under per-group
+    relative thresholds, and renders the verdict as text or JSON.
+    [w5 perf diff] exits non-zero iff {!has_regression}. *)
+
+type entry = {
+  e_name : string;
+  e_runs : int;  (** bechamel sample count *)
+  e_ns : float;  (** ns/op point estimate (OLS slope) *)
+  e_r2 : float;  (** goodness of fit; [0.0] when unavailable *)
+}
+
+type group = {
+  g_name : string;
+  g_entries : entry list;  (** sorted by [e_name] *)
+}
+
+val schema_version : int
+
+val filename : group_name:string -> string
+(** ["BENCH_" ^ group_name ^ ".json"]. *)
+
+val make_group : name:string -> entry list -> group
+(** Sort entries by name and replace NaN/inf estimates with [0.0]. *)
+
+(** {1 Encoding} *)
+
+val to_json : group -> string
+(** Stable, pretty-printed, newline-terminated — committed verbatim. *)
+
+val of_json : string -> (group, string) result
+
+val load_file : string -> (group, string) result
+
+val load_dir : string -> (group list, string) result
+(** Every [BENCH_*.json] in the directory, sorted by group name. *)
+
+val save_dir : dir:string -> group list -> unit
+(** Write each group to [dir/BENCH_<group>.json], creating [dir] if
+    needed. *)
+
+(** {1 Comparison} *)
+
+val default_threshold : float
+(** Relative slowdown tolerated before a regression is flagged
+    ([0.5] = +50%). Generous by design: bechamel point estimates
+    jitter between runs. *)
+
+val group_threshold : ?default:float -> string -> float
+(** Per-group override table — ns-scale micro-groups get a wider
+    threshold than the default. *)
+
+type finding =
+  | Regression of {
+      group : string;
+      name : string;
+      base_ns : float;
+      fresh_ns : float;
+      threshold : float;
+    }  (** fresh strictly exceeds [base * (1 + threshold)] *)
+  | Improvement of {
+      group : string;
+      name : string;
+      base_ns : float;
+      fresh_ns : float;
+    }  (** fresh is faster by more than the threshold — consider
+           re-recording *)
+  | Missing_group of string  (** baseline group absent from the fresh run *)
+  | Missing_test of { group : string; name : string }
+  | New_group of string  (** fresh group with no committed baseline *)
+  | New_test of { group : string; name : string }
+
+val finding_fails : finding -> bool
+(** [Regression] and [Missing_*] fail the gate; [Improvement] and
+    [New_*] are informational. *)
+
+val has_regression : finding list -> bool
+
+val compare_runs :
+  ?threshold:float ->
+  ?names_only:bool ->
+  baseline:group list ->
+  fresh:group list ->
+  unit ->
+  finding list
+(** Compare a fresh run against committed baselines. [?threshold]
+    overrides the default (per-group overrides still apply on top).
+    [~names_only:true] checks structure only — groups and test names,
+    no values — which is what CI's smoke-mode gate uses. Entries with
+    a point estimate under 1 ns on either side are skipped as
+    incomparable. The comparison at the threshold edge is strict:
+    fresh = base × (1 + t) exactly is {e not} a regression. *)
+
+(** {1 Rendering} *)
+
+val pp_ns : float -> string
+(** ["874.0 ns"], ["10.294 us"], ["1.203 ms"]. *)
+
+val render_finding : finding -> string
+
+val render_text : finding list -> string
+(** One line per finding plus a final verdict line
+    (["perf: ok"] / ["perf: REGRESSION"]). *)
+
+val render_json : finding list -> string
+(** [{"regression":bool,"findings":[…]}], newline-terminated. *)
+
+val schema_skeleton : group list -> string
+(** Group and test names plus the field layout, none of the values.
+    CI byte-diffs this against a committed golden so the schema can
+    only change deliberately. *)

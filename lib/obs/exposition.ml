@@ -73,6 +73,26 @@ let prometheus registry =
     (Metrics.dump registry);
   Buffer.contents buf
 
+(* ---- latency quantile summary (text) ---- *)
+
+let render_quantile = function
+  | None -> "-"
+  | Some e -> Perf.render_estimate e
+
+let summaries registry =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, (s : Perf.summary)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s count=%d sum=%d p50=%s p95=%s p99=%s\n" name
+           (render_labels s.Perf.q_labels)
+           s.Perf.q_count s.Perf.q_sum
+           (render_quantile s.Perf.q_p50)
+           (render_quantile s.Perf.q_p95)
+           (render_quantile s.Perf.q_p99)))
+    (Perf.summaries registry);
+  Buffer.contents buf
+
 (* ---- JSON ---- *)
 
 let json_string v =
@@ -109,10 +129,18 @@ let json registry =
         | Metrics.Value v ->
             [ ("labels", json_labels labels); ("value", string_of_int v) ]
         | Metrics.Histo { counts; sum; count } ->
+            let q p =
+              json_string
+                (render_quantile
+                   (Perf.quantile ~bounds:s.Metrics.sample_buckets ~counts p))
+            in
             [ ("labels", json_labels labels);
               ("buckets", json_ints counts);
               ("sum", string_of_int sum);
-              ("count", string_of_int count) ]
+              ("count", string_of_int count);
+              ("p50", q 0.50);
+              ("p95", q 0.95);
+              ("p99", q 0.99) ]
       in
       "{"
       ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields)

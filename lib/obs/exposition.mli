@@ -12,7 +12,22 @@ val prometheus : Metrics.t -> string
 
 val json : Metrics.t -> string
 (** A single JSON object:
-    [{"series_count":…,"overflowed":…,"metrics":[…]}]. *)
+    [{"series_count":…,"overflowed":…,"metrics":[…]}]. Histogram
+    series carry derived ["p50"]/["p95"]/["p99"] quantile estimates
+    (rendered as {!Perf.render_estimate} strings, ["-"] when empty). *)
+
+val json_string : string -> string
+(** Escape and quote a string as a JSON literal (shared by the other
+    JSON emitters in this library, e.g. {!Baseline}). *)
+
+val summaries : Metrics.t -> string
+(** One line per histogram series with count, sum, and derived
+    p50/p95/p99 tick quantiles:
+    {v
+w5_gateway_request_ticks{route="app:core/social"} count=7 sum=203 p50=32 p95=64 p99=64
+    v}
+    A quantile prints as its bucket's upper bound, [">B"] when it
+    falls past the largest bound [B], or ["-"] for an empty series. *)
 
 val trace_tree : Span.t -> string
 (** One trace as an indented tree, two spaces per depth:

@@ -16,6 +16,7 @@ and meters = {
   spawns : Metrics.metric;
   gate_invocations : Metrics.metric;
   audit_events : Metrics.metric;
+  syscall_ticks : Metrics.metric;
 }
 
 and t = {
@@ -76,6 +77,9 @@ let make_meters m =
     audit_events =
       Metrics.counter m "w5_audit_events_total"
         ~help:"Audit log records by event kind";
+    syscall_ticks =
+      Perf.latency m "w5_syscall_ticks"
+        ~help:"Logical-clock ticks consumed per syscall dispatch";
   }
 
 (* Kernels are per-provider singletons; a monotone id lets global

@@ -63,6 +63,9 @@ type meters = {
   spawns : W5_obs.Metrics.metric;
   gate_invocations : W5_obs.Metrics.metric;    (** [{gate}] *)
   audit_events : W5_obs.Metrics.metric;        (** [{event}] *)
+  syscall_ticks : W5_obs.Metrics.metric;
+      (** [{op}] latency histogram on {!W5_obs.Perf.tick_buckets}:
+          logical-clock ticks consumed per syscall dispatch *)
 }
 (** Pre-registered handles for the hot paths, so instrumentation does
     not pay a by-name lookup per syscall. *)

@@ -27,15 +27,22 @@ let enter ctx op =
   Metrics.inc (Kernel.meters ctx.Kernel.kernel).Kernel.syscalls
     ~labels:[ ("op", op) ]
 
-(* Bracket a syscall body in a trace span (a no-op unless the kernel's
-   tracer is enabled, e.g. under `w5 stats --trace`). *)
-let traced ctx op f =
+(* Bracket a syscall body: time it on the logical clock into the
+   kernel's per-op latency histogram, and (only when the tracer is
+   enabled, e.g. under `w5 stats --trace`) wrap it in a trace span.
+   [t0] is read before [enter] advances the clock, so even the
+   simplest syscall observes its own crossing; composite syscalls
+   (gate invocations, tainting reads) observe every tick they drove. *)
+let dispatch ctx op f =
   let kernel = ctx.Kernel.kernel in
+  let clock () = Kernel.tick kernel in
+  let timed () =
+    Perf.time (Kernel.meters kernel).Kernel.syscall_ticks
+      ~labels:[ ("op", op) ] ~clock f
+  in
   let tracer = Kernel.tracer kernel in
-  if not (Tracer.enabled tracer) then f ()
-  else
-    Tracer.with_span tracer ~clock:(fun () -> Kernel.tick kernel)
-      ("sys." ^ op) f
+  if not (Tracer.enabled tracer) then timed ()
+  else Tracer.with_span tracer ~clock ("sys." ^ op) timed
 
 let enforcing (ctx : Kernel.ctx) = Kernel.enforcing ctx.kernel
 
@@ -116,10 +123,12 @@ let absorb ctx ?(via = "absorb") ?(subject = Audit.No_subject)
 (* {1 Tags and labels} *)
 
 let absorb_labels ctx incoming =
+  dispatch ctx "label.absorb" @@ fun () ->
   enter ctx "label.absorb";
   absorb ctx ~via:"label.absorb" incoming
 
 let create_tag ctx ?name ?restricted kind =
+  dispatch ctx "tag.create" @@ fun () ->
   enter ctx "tag.create";
   let tag = Tag.fresh ?name ?restricted kind in
   ctx.Kernel.proc.Proc.caps <-
@@ -166,6 +175,7 @@ let check_label_change_conv ~caps ~(old_labels : Flow.labels)
       else Ok ()
 
 let set_labels ctx new_labels =
+  dispatch ctx "label.set" @@ fun () ->
   enter ctx "label.set";
   let proc = ctx.Kernel.proc in
   let decision =
@@ -184,6 +194,7 @@ let set_labels ctx new_labels =
       Ok ()
 
 let add_taint ctx taint =
+  dispatch ctx "label.taint" @@ fun () ->
   enter ctx "label.taint";
   (* self-tainting only raises secrecy; it says nothing about (and
      must not erode) the caller's integrity *)
@@ -192,6 +203,7 @@ let add_taint ctx taint =
        ~integrity:ctx.Kernel.proc.Proc.labels.Flow.integrity ())
 
 let declassify_self ctx ?(context = "self") tag =
+  dispatch ctx "label.declassify" @@ fun () ->
   enter ctx "label.declassify";
   let proc = ctx.Kernel.proc in
   if enforcing ctx && not (Capability.Set.can_drop tag proc.Proc.caps) then
@@ -208,6 +220,7 @@ let declassify_self ctx ?(context = "self") tag =
   end
 
 let endorse_self ctx tag =
+  dispatch ctx "label.endorse" @@ fun () ->
   enter ctx "label.endorse";
   let proc = ctx.Kernel.proc in
   if enforcing ctx && not (Capability.Set.can_add tag proc.Proc.caps) then
@@ -222,6 +235,7 @@ let endorse_self ctx tag =
   end
 
 let drop_integrity ctx tag =
+  dispatch ctx "label.drop_integrity" @@ fun () ->
   enter ctx "label.drop_integrity";
   let proc = ctx.Kernel.proc in
   proc.Proc.labels <-
@@ -232,6 +246,7 @@ let drop_integrity ctx tag =
   Ok ()
 
 let grant_cap ctx ~to_ cap =
+  dispatch ctx "cap.grant" @@ fun () ->
   enter ctx "cap.grant";
   let proc = ctx.Kernel.proc in
   if enforcing ctx && not (Capability.Set.mem cap proc.Proc.caps) then
@@ -252,6 +267,7 @@ let grant_cap ctx ~to_ cap =
             Ok ())
 
 let drop_cap ctx cap =
+  dispatch ctx "cap.drop" @@ fun () ->
   enter ctx "cap.drop";
   let proc = ctx.Kernel.proc in
   proc.Proc.caps <- Capability.Set.remove cap proc.Proc.caps;
@@ -262,6 +278,7 @@ let drop_cap ctx cap =
 let fs ctx = Kernel.fs ctx.Kernel.kernel
 
 let mkdir ctx path ~labels =
+  dispatch ctx "fs.mkdir" @@ fun () ->
   enter ctx "fs.mkdir";
   charge ctx Resource.Files 1;
   let proc = ctx.Kernel.proc in
@@ -288,7 +305,7 @@ let mkdir ctx path ~labels =
                   Ok ())))
 
 let create_file ctx path ~labels ~data =
-  traced ctx "fs.create" @@ fun () ->
+  dispatch ctx "fs.create" @@ fun () ->
   enter ctx "fs.create";
   charge ctx Resource.Files 1;
   charge ctx Resource.Disk (String.length data);
@@ -316,7 +333,7 @@ let create_file ctx path ~labels ~data =
                   Ok ())))
 
 let read_file ctx path =
-  traced ctx "fs.read" @@ fun () ->
+  dispatch ctx "fs.read" @@ fun () ->
   enter ctx "fs.read";
   let proc = ctx.Kernel.proc in
   match Fs.read (fs ctx) path with
@@ -347,7 +364,7 @@ let read_file ctx path =
               Ok data))
 
 let read_file_taint ctx path =
-  traced ctx "fs.read_taint" @@ fun () ->
+  dispatch ctx "fs.read_taint" @@ fun () ->
   enter ctx "fs.read_taint";
   match Fs.read (fs ctx) path with
   | Error _ as e -> e
@@ -383,7 +400,7 @@ let write_check ctx ~op path =
         ~dst:st.Fs.labels
 
 let write_file ctx path ~data =
-  traced ctx "fs.write" @@ fun () ->
+  dispatch ctx "fs.write" @@ fun () ->
   enter ctx "fs.write";
   charge ctx Resource.Disk (String.length data);
   match write_check ctx ~op:"fs.write" path with
@@ -391,6 +408,7 @@ let write_file ctx path ~data =
   | Ok () -> Fs.write (fs ctx) path ~data
 
 let append_file ctx path ~data =
+  dispatch ctx "fs.append" @@ fun () ->
   enter ctx "fs.append";
   charge ctx Resource.Disk (String.length data);
   match write_check ctx ~op:"fs.append" path with
@@ -398,7 +416,7 @@ let append_file ctx path ~data =
   | Ok () -> Fs.append (fs ctx) path ~data
 
 let unlink ctx path =
-  traced ctx "fs.unlink" @@ fun () ->
+  dispatch ctx "fs.unlink" @@ fun () ->
   enter ctx "fs.unlink";
   let proc = ctx.Kernel.proc in
   match Fs.parent_labels (fs ctx) path with
@@ -417,6 +435,7 @@ let unlink ctx path =
           | Ok () -> Fs.unlink (fs ctx) path))
 
 let rename ctx ~src ~dst =
+  dispatch ctx "fs.rename" @@ fun () ->
   enter ctx "fs.rename";
   let proc = ctx.Kernel.proc in
   let parent_check label path =
@@ -437,6 +456,7 @@ let rename ctx ~src ~dst =
           | Ok () -> Fs.rename (fs ctx) ~src ~dst))
 
 let set_file_labels ctx path ~labels =
+  dispatch ctx "fs.relabel" @@ fun () ->
   enter ctx "fs.relabel";
   let proc = ctx.Kernel.proc in
   match Fs.stat (fs ctx) path with
@@ -471,7 +491,7 @@ let set_file_labels ctx path ~labels =
                   Ok ())))
 
 let readdir ctx path =
-  traced ctx "fs.readdir" @@ fun () ->
+  dispatch ctx "fs.readdir" @@ fun () ->
   enter ctx "fs.readdir";
   let proc = ctx.Kernel.proc in
   match Fs.readdir (fs ctx) path with
@@ -488,6 +508,7 @@ let readdir ctx path =
       | Ok () -> Ok names)
 
 let stat ctx path =
+  dispatch ctx "fs.stat" @@ fun () ->
   enter ctx "fs.stat";
   Fs.stat (fs ctx) path
 
@@ -501,7 +522,7 @@ let file_exists ctx path =
 (* {1 IPC} *)
 
 let send ctx ~to_ ?(grant = Capability.Set.empty) ?(use_caps = false) body =
-  traced ctx "ipc.send" @@ fun () ->
+  dispatch ctx "ipc.send" @@ fun () ->
   enter ctx "ipc.send";
   charge ctx Resource.Messages 1;
   let proc = ctx.Kernel.proc in
@@ -554,7 +575,7 @@ let send ctx ~to_ ?(grant = Capability.Set.empty) ?(use_caps = false) body =
             Ok ())
 
 let recv ctx =
-  traced ctx "ipc.recv" @@ fun () ->
+  dispatch ctx "ipc.recv" @@ fun () ->
   enter ctx "ipc.recv";
   let proc = ctx.Kernel.proc in
   match Queue.take_opt proc.Proc.mailbox with
@@ -576,6 +597,7 @@ let recv ctx =
 
 let spawn ctx ~name ?labels ?(caps = Capability.Set.empty)
     ?(limits = Resource.default_app_limits) body =
+  dispatch ctx "proc.spawn" @@ fun () ->
   enter ctx "proc.spawn";
   let proc = ctx.Kernel.proc in
   let labels = Option.value labels ~default:proc.Proc.labels in
@@ -583,7 +605,7 @@ let spawn ctx ~name ?labels ?(caps = Capability.Set.empty)
     ~labels ~caps ~limits body
 
 let invoke_gate ctx name ~arg =
-  traced ctx "gate.invoke" @@ fun () ->
+  dispatch ctx "gate.invoke" @@ fun () ->
   enter ctx "gate.invoke";
   let proc = ctx.Kernel.proc in
   match Kernel.invoke_gate ctx.Kernel.kernel ~caller:proc ~name ~arg with
@@ -603,6 +625,7 @@ let invoke_gate ctx name ~arg =
               Ok (Some (data, labels))))
 
 let respond ctx data =
+  dispatch ctx "proc.respond" @@ fun () ->
   enter ctx "proc.respond";
   charge ctx Resource.Memory (String.length data);
   let proc = ctx.Kernel.proc in
@@ -617,6 +640,7 @@ let consume ctx ~cpu =
   Ok ()
 
 let debug_note ctx note =
+  dispatch ctx "debug.note" @@ fun () ->
   enter ctx "debug.note";
   Kernel.record ctx.Kernel.kernel ~pid:(pid ctx) (Audit.App_note note);
   Ok ()

@@ -543,7 +543,7 @@ let handler platform request =
        ~help:"HTTP requests by route and status")
     ~labels:[ ("route", route); ("status", status) ];
   W5_obs.Metrics.observe
-    (W5_obs.Metrics.histogram metrics "w5_gateway_request_ticks"
+    (W5_obs.Perf.latency metrics "w5_gateway_request_ticks"
        ~help:"Logical ticks consumed per request, by route")
     ~labels:[ ("route", route) ]
     (Kernel.tick kernel - t0);

@@ -61,6 +61,7 @@ let export platform ?(source = 0) ~viewer ~data ~labels () =
     | Some (a : Account.t) -> a.Account.user ^ "'s browser"
     | None -> "anonymous client"
   in
+  let t0 = Kernel.tick kernel in
   let finish decision =
     let verdict = match decision with Ok () -> "allow" | Error _ -> "deny" in
     W5_obs.Metrics.inc
@@ -69,6 +70,16 @@ let export platform ?(source = 0) ~viewer ~data ~labels () =
          "w5_exports_total"
          ~help:"Perimeter export attempts by decision")
       ~labels:[ ("decision", verdict) ];
+    (* Export latency in logical ticks: declassifier gate invocations
+       drive the clock, so a deny after three gate hops is visibly
+       slower than a clean allow. *)
+    W5_obs.Metrics.observe
+      (W5_obs.Perf.latency
+         (Kernel.metrics kernel)
+         "w5_perimeter_export_ticks"
+         ~help:"Logical ticks consumed per perimeter export check, by decision")
+      ~labels:[ ("decision", verdict) ]
+      (Kernel.tick kernel - t0);
     W5_obs.Tracer.event (Kernel.tracer kernel) ~tick:(Kernel.tick kernel)
       ~fields:
         [

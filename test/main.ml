@@ -4,6 +4,7 @@ let () =
       ("difc", Test_difc.suite);
       ("os", Test_os.suite);
       ("obs", Test_obs.suite);
+      ("baseline", Test_baseline.suite);
       ("provenance", Test_provenance.suite);
       ("store", Test_store.suite);
       ("index", Test_index.suite);

@@ -250,10 +250,63 @@ let test_json_golden () =
      {\"labels\":{\"route\":\"login\"},\"value\":1}]},\
      {\"name\":\"demo_ticks\",\"kind\":\"histogram\",\"help\":\"ticks\",\
      \"bounds\":[1,2],\"series\":[\
-     {\"labels\":{},\"buckets\":[1,1,1],\"sum\":8,\"count\":3}]}]}"
+     {\"labels\":{},\"buckets\":[1,1,1],\"sum\":8,\"count\":3,\
+     \"p50\":\"2\",\"p95\":\">2\",\"p99\":\">2\"}]}]}"
   in
   check string_c "json exposition" expected
     (Exposition.json (golden_registry ()))
+
+(* `w5 stats` renders this verbatim: one line per histogram series
+   with the derived tick quantiles. *)
+let test_summaries_golden () =
+  let r = golden_registry () in
+  let h = Metrics.histogram r ~buckets:[ 1; 2 ] "demo_ticks" in
+  Metrics.observe h ~labels:[ ("route", "login") ] 1;
+  let expected =
+    "demo_ticks count=3 sum=8 p50=2 p95=>2 p99=>2\n\
+     demo_ticks{route=\"login\"} count=1 sum=1 p50=1 p95=1 p99=1\n"
+  in
+  check string_c "quantile summary" expected (Exposition.summaries r)
+
+(* ---- quantile estimation from bucket counts ---- *)
+
+let estimate_c =
+  Alcotest.testable
+    (fun fmt e -> Format.pp_print_string fmt (Perf.render_estimate e))
+    ( = )
+
+let test_perf_quantiles () =
+  let q = Perf.quantile ~bounds:[ 1; 2; 4 ] in
+  check (Alcotest.option estimate_c) "empty series" None
+    (q ~counts:[ 0; 0; 0; 0 ] 0.5);
+  (* counts: 1 <=1, 2 <=2, 1 <=4, 1 overflow (total 5) *)
+  let counts = [ 1; 2; 1; 1 ] in
+  check (Alcotest.option estimate_c) "p50 in the middle bucket"
+    (Some (Perf.Le 2)) (q ~counts 0.5);
+  check (Alcotest.option estimate_c) "p95 past the last bound"
+    (Some (Perf.Gt 4)) (q ~counts 0.95);
+  check (Alcotest.option estimate_c) "p20 rank-1 lands in the first bucket"
+    (Some (Perf.Le 1)) (q ~counts 0.20);
+  check (Alcotest.option estimate_c) "everything in overflow"
+    (Some (Perf.Gt 4))
+    (q ~counts:[ 0; 0; 0; 3 ] 0.5);
+  check string_c "render Le" "8" (Perf.render_estimate (Perf.Le 8));
+  check string_c "render Gt" ">1024" (Perf.render_estimate (Perf.Gt 1024))
+
+let test_perf_time () =
+  let r = Metrics.create () in
+  let m = Perf.latency r "t_ticks" in
+  let tick = ref 0 in
+  let clock () = !tick in
+  let v = Perf.time m ~clock (fun () -> tick := !tick + 5; "done") in
+  check string_c "body value returned" "done" v;
+  check int_c "delta observed" 5 (Metrics.histogram_sum m);
+  (* the observation lands even when the body raises *)
+  (try
+     Perf.time m ~clock (fun () -> tick := !tick + 3; failwith "boom")
+   with Failure _ -> ());
+  check int_c "raising body still observed" 8 (Metrics.histogram_sum m);
+  check int_c "two observations" 2 (Metrics.histogram_count m)
 
 let test_trace_tree_golden () =
   let tr = Tracer.create ~enabled:true () in
@@ -322,6 +375,7 @@ let test_no_user_bytes_in_telemetry () =
     [
       ("prometheus", Exposition.prometheus metrics);
       ("json", Exposition.json metrics);
+      ("summaries", Exposition.summaries metrics);
       ("traces", Exposition.traces tracer);
     ];
   (* the provenance/explanation layer reads the same audit log — its
@@ -392,7 +446,20 @@ let test_kernel_meters () =
     > 0);
   check bool_c "cpu quota units metered" true
     (Metrics.value meters.Kernel.quota_units ~labels:[ ("kind", "cpu") ] > 0);
-  check int_c "spawns metered" 1 (Metrics.value meters.Kernel.spawns)
+  check int_c "spawns metered" 1 (Metrics.value meters.Kernel.spawns);
+  (* every dispatch lands in the per-op latency histogram; a leaf
+     syscall consumes exactly its own clock crossing *)
+  check int_c "fs.create latency observed" 1
+    (Metrics.histogram_count meters.Kernel.syscall_ticks
+       ~labels:[ ("op", "fs.create") ]);
+  check int_c "fs.read latency is one tick"
+    1
+    (Metrics.histogram_sum meters.Kernel.syscall_ticks
+       ~labels:[ ("op", "fs.read") ]);
+  check bool_c "syscall quantiles reach the summary exposition" true
+    (contains
+       (Exposition.summaries (Kernel.metrics kernel))
+       "w5_syscall_ticks{op=\"fs.read\"} count=1 sum=1 p50=1 p95=1 p99=1")
 
 (* ---- audit log: truncation and streaming accessors ---- *)
 
@@ -450,6 +517,9 @@ let suite =
       test_with_span_nested_exception;
     Alcotest.test_case "prometheus golden" `Quick test_prometheus_golden;
     Alcotest.test_case "json golden" `Quick test_json_golden;
+    Alcotest.test_case "summaries golden" `Quick test_summaries_golden;
+    Alcotest.test_case "perf quantiles" `Quick test_perf_quantiles;
+    Alcotest.test_case "perf time bracket" `Quick test_perf_time;
     Alcotest.test_case "trace tree golden" `Quick test_trace_tree_golden;
     Alcotest.test_case "no user bytes in telemetry" `Quick
       test_no_user_bytes_in_telemetry;

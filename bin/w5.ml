@@ -488,6 +488,8 @@ let stats seed users format =
   | Some (viewer, owner) ->
       let client = W5_workload.Populate.login society viewer in
       ignore (Client.get client "/app/core/social" ~params:[ ("user", owner) ]));
+  (* publish the label-algebra memo-cache counters before dumping *)
+  W5_os.Kernel.sync_cache_metrics kernel;
   let metrics = W5_os.Kernel.metrics kernel in
   (match format with
   | "json" -> print_string (W5_obs.Exposition.json metrics)

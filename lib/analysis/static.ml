@@ -248,9 +248,11 @@ let capture platform =
     |> List.sort_uniq compare
   in
   let tag_list =
+    (* every name in [order] was inserted into [tag_tbl] alongside its
+       push, so find_opt never actually drops anything *)
     List.sort
       (fun a b -> compare a.tag_name b.tag_name)
-      (List.rev_map (Hashtbl.find tag_tbl) !order)
+      (List.filter_map (Hashtbl.find_opt tag_tbl) (List.rev !order))
   in
   let app_tbl = Hashtbl.create 64 in
   List.iter (fun a -> Hashtbl.replace app_tbl a.app_id a) app_list;

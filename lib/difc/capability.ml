@@ -30,6 +30,7 @@ module Set = struct
   type nonrec t = S.t
 
   let empty = S.empty
+  let is_empty = S.is_empty
   let of_list = S.of_list
   let to_list = S.elements
   let add = S.add

@@ -30,6 +30,12 @@ module Set : sig
   type t
 
   val empty : t
+
+  val is_empty : t -> bool
+  (** An empty ownership set authorizes no label change at all; flow
+      checks use this to skip per-tag capability probes for ordinary
+      processes. *)
+
   val of_list : cap list -> t
   val to_list : t -> cap list
   val add : cap -> t -> t

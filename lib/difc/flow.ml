@@ -14,11 +14,90 @@ let equal_labels a b =
 let pp_labels fmt l =
   Format.fprintf fmt "S=%a I=%a" Label.pp l.secrecy Label.pp l.integrity
 
-let join a b =
+(* ---- pair interning ----
+
+   A labels pair is hash-consed by the content ids of its two
+   components: one canonical record per (secrecy, integrity) content,
+   plus a pair id usable as a compact cache key. Like Label ids, pair
+   ids are monotone and never reused. *)
+
+let pair_pool : (labels * int) Memo.pair_cache =
+  Memo.create_pair ~name:"flow-pair" ~capacity:8192
+
+let next_pair_id = ref 0
+
+let intern l =
+  let ks = Label.interned_id l.secrecy
+  and ki = Label.interned_id l.integrity in
+  match Memo.find_pair pair_pool ks ki with
+  | Some (canonical, _) -> canonical
+  | None ->
+      incr next_pair_id;
+      let canonical =
+        { secrecy = Label.intern l.secrecy; integrity = Label.intern l.integrity }
+      in
+      Memo.add_pair pair_pool ks ki (canonical, !next_pair_id);
+      canonical
+
+let labels_id l =
+  let ks = Label.interned_id l.secrecy
+  and ki = Label.interned_id l.integrity in
+  match Memo.find_pair pair_pool ks ki with
+  | Some (_, id) -> id
+  | None ->
+      incr next_pair_id;
+      let canonical =
+        { secrecy = Label.intern l.secrecy; integrity = Label.intern l.integrity }
+      in
+      Memo.add_pair pair_pool ks ki (canonical, !next_pair_id);
+      !next_pair_id
+
+let join_ref a b =
   {
-    secrecy = Label.union a.secrecy b.secrecy;
+    secrecy = Label.union_ref a.secrecy b.secrecy;
     integrity = Label.inter a.integrity b.integrity;
   }
+
+(* Combined size under which a direct join beats a cache probe;
+   mirrors the small-operand bypass inside Label. *)
+let small_bound = 6
+
+let size l = Label.cardinal l.secrecy + Label.cardinal l.integrity
+
+let join_cache : labels Memo.quad_cache =
+  Memo.create_quad ~name:"join" ~capacity:4096
+
+let join a b =
+  if a == b then a
+  else if size a + size b <= small_bound then
+    {
+      secrecy = Label.union a.secrecy b.secrecy;
+      integrity = Label.inter a.integrity b.integrity;
+    }
+  else
+    let ka_s = Label.interned_id a.secrecy
+    and ka_i = Label.interned_id a.integrity
+    and kb_s = Label.interned_id b.secrecy
+    and kb_i = Label.interned_id b.integrity in
+    (* join is commutative: normalize on the (secrecy, integrity) id
+       pair so both argument orders share one entry. *)
+    let ka_s, ka_i, kb_s, kb_i =
+      if ka_s < kb_s || (ka_s = kb_s && ka_i <= kb_i) then
+        (ka_s, ka_i, kb_s, kb_i)
+      else (kb_s, kb_i, ka_s, ka_i)
+    in
+    match Memo.find_quad join_cache ka_s ka_i kb_s kb_i with
+    | Some r -> r
+    | None ->
+        let r =
+          intern
+            {
+              secrecy = Label.union a.secrecy b.secrecy;
+              integrity = Label.inter a.integrity b.integrity;
+            }
+        in
+        Memo.add_quad join_cache ka_s ka_i kb_s kb_i r;
+        r
 
 type denial =
   | Secrecy_violation of Label.t
@@ -38,19 +117,46 @@ let pp_denial fmt = function
 
 let denial_to_string d = Format.asprintf "%a" pp_denial d
 
+let can_flow_ref src dst =
+  Label.subset_ref src.secrecy dst.secrecy
+  && Label.subset_ref dst.integrity src.integrity
+
+let can_flow_cache : bool Memo.quad_cache =
+  Memo.create_quad ~name:"can-flow" ~capacity:4096
+
 let can_flow src dst =
-  Label.subset src.secrecy dst.secrecy
-  && Label.subset dst.integrity src.integrity
+  if src == dst then true
+  else if size src + size dst <= small_bound then
+    Label.subset src.secrecy dst.secrecy
+    && Label.subset dst.integrity src.integrity
+  else
+    let ks_s = Label.interned_id src.secrecy
+    and ks_i = Label.interned_id src.integrity
+    and kd_s = Label.interned_id dst.secrecy
+    and kd_i = Label.interned_id dst.integrity in
+    match Memo.find_quad can_flow_cache ks_s ks_i kd_s kd_i with
+    | Some r -> r
+    | None ->
+        let r =
+          Label.subset src.secrecy dst.secrecy
+          && Label.subset dst.integrity src.integrity
+        in
+        Memo.add_quad can_flow_cache ks_s ks_i kd_s kd_i r;
+        r
 
 let check_flow src dst =
-  let secrecy_excess = Label.diff src.secrecy dst.secrecy in
-  if not (Label.is_empty secrecy_excess) then
-    Error (Secrecy_violation secrecy_excess)
+  (* The allowed case rides the memoized boolean judgment; denials are
+     the rare path, and only they pay for the explanatory diffs. *)
+  if can_flow src dst then Ok ()
   else
-    let integrity_missing = Label.diff dst.integrity src.integrity in
-    if not (Label.is_empty integrity_missing) then
-      Error (Integrity_violation integrity_missing)
-    else Ok ()
+    let secrecy_excess = Label.diff src.secrecy dst.secrecy in
+    if not (Label.is_empty secrecy_excess) then
+      Error (Secrecy_violation secrecy_excess)
+    else
+      let integrity_missing = Label.diff dst.integrity src.integrity in
+      if not (Label.is_empty integrity_missing) then
+        Error (Integrity_violation integrity_missing)
+      else Ok ()
 
 let can_flow_with ?(src_caps = Capability.Set.empty)
     ?(dst_caps = Capability.Set.empty) src dst =
@@ -79,16 +185,23 @@ let can_flow_with ?(src_caps = Capability.Set.empty)
 let check_label_change ~caps ~old_label ~new_label =
   let added = Label.diff new_label old_label in
   let dropped = Label.diff old_label new_label in
-  let bad_adds =
-    Label.filter (fun t -> not (Capability.Set.can_add t caps)) added
-  in
-  if not (Label.is_empty bad_adds) then Error (Unauthorized_add bad_adds)
-  else
-    let bad_drops =
-      Label.filter (fun t -> not (Capability.Set.can_drop t caps)) dropped
-    in
-    if not (Label.is_empty bad_drops) then Error (Unauthorized_drop bad_drops)
+  if Capability.Set.is_empty caps then
+    (* No capabilities authorize no change: every added or dropped tag
+       is a violation, no per-tag probes needed. *)
+    if not (Label.is_empty added) then Error (Unauthorized_add added)
+    else if not (Label.is_empty dropped) then Error (Unauthorized_drop dropped)
     else Ok ()
+  else
+    let bad_adds =
+      Label.filter (fun t -> not (Capability.Set.can_add t caps)) added
+    in
+    if not (Label.is_empty bad_adds) then Error (Unauthorized_add bad_adds)
+    else
+      let bad_drops =
+        Label.filter (fun t -> not (Capability.Set.can_drop t caps)) dropped
+      in
+      if not (Label.is_empty bad_drops) then Error (Unauthorized_drop bad_drops)
+      else Ok ()
 
 let check_labels_change ~caps ~old_labels ~new_labels =
   match
@@ -103,4 +216,5 @@ let check_labels_change ~caps ~old_labels ~new_labels =
 let raise_secrecy taint l = { l with secrecy = Label.union taint l.secrecy }
 
 let export_blockers ~caps l =
-  Label.filter (fun t -> not (Capability.Set.can_drop t caps)) l.secrecy
+  if Capability.Set.is_empty caps then l.secrecy
+  else Label.filter (fun t -> not (Capability.Set.can_drop t caps)) l.secrecy

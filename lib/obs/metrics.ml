@@ -15,6 +15,12 @@ type metric = {
   m_bounds : int array;  (* ascending upper bounds; histograms only *)
   m_series : (string, series) Hashtbl.t;
   m_owner : t;
+  (* Last (raw label list, series) resolved for this metric: hot paths
+     update the same series in runs, and the fast path skips the
+     sort + key-string allocation entirely. Never caches an
+     overflow-redirected lookup, so overflow accounting stays
+     per-update. *)
+  mutable m_last : (labels * series) option;
 }
 
 and t = {
@@ -62,7 +68,7 @@ let register r ~kind ~help ?(buckets = []) name =
       in
       let m =
         { m_name = name; m_help = help; m_kind = kind; m_bounds = bounds;
-          m_series = Hashtbl.create 8; m_owner = r }
+          m_series = Hashtbl.create 8; m_owner = r; m_last = None }
       in
       Hashtbl.replace r.r_metrics name m;
       m
@@ -76,17 +82,23 @@ let histogram r ?(help = "") ?buckets name =
 (* Find or create the series for [labels]; at the cardinality cap the
    update lands in the shared overflow series instead, so attacker-
    chosen label values cannot mint unbounded telemetry state. *)
-let rec series_for m labels =
-  let labels = sort_labels labels in
+let rec series_for_slow m raw =
+  let labels = sort_labels raw in
   let key = key_of labels in
   match Hashtbl.find_opt m.m_series key with
-  | Some s -> s
+  | Some s ->
+      m.m_last <- Some (raw, s);
+      s
   | None ->
       if Hashtbl.length m.m_series >= m.m_owner.r_max_series
          && labels <> overflow_labels
       then begin
         m.m_owner.r_overflowed <- m.m_owner.r_overflowed + 1;
-        series_for m overflow_labels
+        let s = series_for_slow m overflow_labels in
+        (* the recursive call cached the overflow mapping under its own
+           raw key; [raw] itself stays uncached so every redirected
+           update keeps bumping [r_overflowed] *)
+        s
       end
       else begin
         let s =
@@ -94,8 +106,14 @@ let rec series_for m labels =
             s_buckets = Array.make (Array.length m.m_bounds + 1) 0 }
         in
         Hashtbl.replace m.m_series key s;
+        m.m_last <- Some (raw, s);
         s
       end
+
+let series_for m labels =
+  match m.m_last with
+  | Some (raw, s) when raw == labels || raw = labels -> s
+  | _ -> series_for_slow m labels
 
 let inc ?(labels = []) ?(by = 1) m =
   if m.m_owner.r_enabled then begin
@@ -178,5 +196,9 @@ let dump r =
   |> List.sort (fun a b -> String.compare a.sample_name b.sample_name)
 
 let clear r =
-  Hashtbl.iter (fun _ m -> Hashtbl.reset m.m_series) r.r_metrics;
+  Hashtbl.iter
+    (fun _ m ->
+      Hashtbl.reset m.m_series;
+      m.m_last <- None)
+    r.r_metrics;
   r.r_overflowed <- 0

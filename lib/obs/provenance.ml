@@ -119,7 +119,9 @@ let causes t ?(tags = []) ~before node =
   let rec walk node before =
     if !budget <= 0 then ()
     else
-      let prior = try Hashtbl.find seen node with Not_found -> min_int in
+      let prior =
+        match Hashtbl.find_opt seen node with Some p -> p | None -> min_int
+      in
       if before <= prior then ()
       else begin
         Hashtbl.replace seen node before;

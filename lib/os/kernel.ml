@@ -34,6 +34,12 @@ and t = {
   k_metrics : Metrics.t;
   k_tracer : Tracer.t;
   k_meters : meters;
+  (* Audit batching: while [k_audit_depth > 0] (inside a syscall
+     dispatch), events queue here and are appended in one
+     [Audit.record_batch] when the outermost dispatch ends — one
+     capacity check per syscall instead of one per event. *)
+  mutable k_audit_depth : int;
+  k_audit_buf : (int * int * Audit.event) Queue.t;
 }
 
 and ctx = {
@@ -105,6 +111,8 @@ let create ?(enforcing = true) ?(audit_capacity = default_audit_capacity) () =
     k_metrics;
     k_tracer = Tracer.create ();
     k_meters = make_meters k_metrics;
+    k_audit_depth = 0;
+    k_audit_buf = Queue.create ();
   }
 
 let id k = k.k_id
@@ -122,7 +130,52 @@ let meters k = k.k_meters
 let record k ~pid event =
   Metrics.inc k.k_meters.audit_events
     ~labels:[ ("event", Audit.event_kind event) ];
-  Audit.record k.k_audit ~tick:k.k_tick ~pid event
+  if k.k_audit_depth > 0 then Queue.add (k.k_tick, pid, event) k.k_audit_buf
+  else Audit.record k.k_audit ~tick:k.k_tick ~pid event
+
+let flush_audit k =
+  if not (Queue.is_empty k.k_audit_buf) then begin
+    let items =
+      List.rev (Queue.fold (fun acc e -> e :: acc) [] k.k_audit_buf)
+    in
+    Queue.clear k.k_audit_buf;
+    Audit.record_batch k.k_audit items
+  end
+
+let with_audit_batch k f =
+  k.k_audit_depth <- k.k_audit_depth + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      k.k_audit_depth <- k.k_audit_depth - 1;
+      if k.k_audit_depth = 0 then flush_audit k)
+    f
+
+(* The label algebra's memo caches (W5_difc.Memo) keep bare counters
+   so lib/difc needn't depend on lib/obs; republishing them as gauges
+   makes them visible in `w5 stats` / Prometheus scrapes. Cache names
+   and counts only — never tag names or user bytes. *)
+let sync_cache_metrics k =
+  let m = k.k_metrics in
+  let hits = Metrics.gauge m "w5_label_cache_hits_total"
+      ~help:"Label-algebra memo cache hits by cache"
+  and misses = Metrics.gauge m "w5_label_cache_misses_total"
+      ~help:"Label-algebra memo cache misses by cache"
+  and flushes = Metrics.gauge m "w5_label_cache_flushes_total"
+      ~help:"Label-algebra memo cache cap flushes by cache"
+  and size = Metrics.gauge m "w5_label_cache_size"
+      ~help:"Label-algebra memo cache live entries by cache"
+  and capacity = Metrics.gauge m "w5_label_cache_capacity"
+      ~help:"Label-algebra memo cache entry cap by cache"
+  in
+  List.iter
+    (fun (s : Memo.snapshot) ->
+      let labels = [ ("cache", s.Memo.name) ] in
+      Metrics.set hits ~labels s.Memo.hits;
+      Metrics.set misses ~labels s.Memo.misses;
+      Metrics.set flushes ~labels s.Memo.flushes;
+      Metrics.set size ~labels s.Memo.size;
+      Metrics.set capacity ~labels s.Memo.capacity)
+    (Memo.snapshots ())
 
 let fresh_pid k =
   k.next_pid <- k.next_pid + 1;

@@ -139,4 +139,21 @@ val invoke_gate :
     charged one process. *)
 
 val record : t -> pid:int -> Audit.event -> unit
-(** Append to the audit log at the current tick. *)
+(** Append to the audit log at the current tick. Inside a
+    {!with_audit_batch} scope the entry is buffered (with the tick and
+    pid captured now) and appended when the scope closes. *)
+
+val with_audit_batch : t -> (unit -> 'a) -> 'a
+(** Run [f] with audit events buffered, then append them in one
+    {!Audit.record_batch} — one capacity check per scope instead of
+    one per event. Scopes nest (the buffer drains when the outermost
+    one ends) and flush even if [f] raises, so a quota kill's own
+    events still land before the kernel records the kill. Syscall
+    dispatch wraps every syscall in one of these. *)
+
+val sync_cache_metrics : t -> unit
+(** Republish the label-algebra memo-cache counters
+    ({!W5_difc.Memo.snapshots}) as [w5_label_cache_*] gauges in this
+    kernel's registry, labeled by cache name. Call before exposition;
+    the caches are process-global, so the gauges describe the process,
+    not just this kernel. *)

@@ -37,6 +37,10 @@ let dispatch ctx op f =
   let kernel = ctx.Kernel.kernel in
   let clock () = Kernel.tick kernel in
   let timed () =
+    (* Batch the syscall's audit appends: a call that passes its checks
+       pays one log append (and one capacity check) at dispatch exit,
+       not one per recorded event. *)
+    Kernel.with_audit_batch kernel @@ fun () ->
     Perf.time (Kernel.meters kernel).Kernel.syscall_ticks
       ~labels:[ ("op", op) ] ~clock f
   in
@@ -348,12 +352,7 @@ let read_file ctx path =
              vouch for their contents). A high-integrity process may
              not strict-read low-integrity data — it must taint-read
              (eroding its label) instead. *)
-          let src =
-            {
-              Flow.secrecy = Label.union labels.Flow.secrecy lookup.Flow.secrecy;
-              integrity = labels.Flow.integrity;
-            }
-          in
+          let src = Flow.raise_secrecy lookup.Flow.secrecy labels in
           match
             check_flow ctx ~op:"fs.read" ~subject:(Audit.File path) ~src
               ~dst:proc.Proc.labels
@@ -375,13 +374,7 @@ let read_file_taint ctx path =
           (* The lookup path adds secrecy but says nothing about
              integrity; only the file itself erodes the reader's
              integrity label. *)
-          let incoming =
-            {
-              Flow.secrecy =
-                Label.union labels.Flow.secrecy lookup.Flow.secrecy;
-              integrity = labels.Flow.integrity;
-            }
-          in
+          let incoming = Flow.raise_secrecy lookup.Flow.secrecy labels in
           match
             absorb ctx ~via:"fs.read_taint" ~subject:(Audit.File path)
               incoming

@@ -30,6 +30,10 @@ let node_count t = Hashtbl.length t.succ
 let edge_count t =
   Hashtbl.fold (fun _ s acc -> acc + SS.cardinal s) t.succ 0
 
+let remove_node t node =
+  Hashtbl.remove t.succ node;
+  Hashtbl.remove t.pred node
+
 let successors t node = SS.elements (find t.succ node)
 let predecessors t node = SS.elements (find t.pred node)
 let out_degree t node = SS.cardinal (find t.succ node)

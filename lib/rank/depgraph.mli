@@ -22,6 +22,14 @@ val out_degree : t -> string -> int
 val in_degree : t -> string -> int
 val mem : t -> string -> bool
 
+val remove_node : t -> string -> unit
+(** Drop [node] from the node set and forget its own adjacency rows.
+    O(1): references to [node] inside {e other} nodes' successor and
+    predecessor sets are left dangling — the situation of a link graph
+    whose target was deleted after its inbound links were recorded.
+    {!Pagerank} and {!Hits} drop dangling endpoints; {!successors} may
+    still return them. *)
+
 val of_edges : (string * string) list -> t
 
 val union : t -> t -> t

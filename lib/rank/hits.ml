@@ -13,8 +13,10 @@ let compute ?(epsilon = 1e-10) ?(max_iterations = 100) graph =
     let succs =
       Array.map
         (fun node ->
+          (* Drop dangling endpoints instead of raising, as in
+             [authority_of]/[hub_of]'s lenient default. *)
           Depgraph.successors graph node
-          |> List.map (Hashtbl.find index)
+          |> List.filter_map (fun s -> Hashtbl.find_opt index s)
           |> Array.of_list)
         nodes
     in

@@ -10,8 +10,11 @@ let run ?(damping = 0.85) ?(epsilon = 1e-10) ?(max_iterations = 100) graph =
     let succs =
       Array.map
         (fun node ->
+          (* A link may point at an id absent from the node set (a
+             dangling endpoint); drop it rather than crash, matching
+             [score_of]'s lenient default for unknown nodes. *)
           Depgraph.successors graph node
-          |> List.map (fun s -> Hashtbl.find index s)
+          |> List.filter_map (fun s -> Hashtbl.find_opt index s)
           |> Array.of_list)
         nodes
     in

@@ -40,6 +40,11 @@ type entry = {
   secrecy_refs : (Tag.t, int) Hashtbl.t;
   integrity_refs : (Tag.t, int) Hashtbl.t;
   mutable row_count : int;
+  (* The (secrecy fold, integrity fold) of the refcount tables,
+     interned; recomputed lazily after any refcount change. The lookup
+     path's taint is *not* part of this — it must stay fresh (see
+     [summary]). *)
+  mutable summary_cache : (Label.t * Label.t) option;
   (* Candidate sets are only served when [indexable]: no stray
      directories, no on-disk names outside [sanitize]'s image. *)
   mutable indexable : bool;
@@ -77,6 +82,7 @@ let entry_of kernel collection =
           secrecy_refs = Hashtbl.create 8;
           integrity_refs = Hashtbl.create 8;
           row_count = 0;
+          summary_cache = None;
           indexable = true;
           stamp = None;
         }
@@ -136,12 +142,14 @@ let refs_remove tbl label =
 let count_labels e (labels : Flow.labels) =
   refs_add e.secrecy_refs labels.Flow.secrecy;
   refs_add e.integrity_refs labels.Flow.integrity;
-  e.row_count <- e.row_count + 1
+  e.row_count <- e.row_count + 1;
+  e.summary_cache <- None
 
 let discount_labels e (labels : Flow.labels) =
   refs_remove e.secrecy_refs labels.Flow.secrecy;
   refs_remove e.integrity_refs labels.Flow.integrity;
-  e.row_count <- e.row_count - 1
+  e.row_count <- e.row_count - 1;
+  e.summary_cache <- None
 
 (* ---- postings maintenance ---- *)
 
@@ -229,6 +237,7 @@ let rebuild kernel collection e =
   Hashtbl.reset e.secrecy_refs;
   Hashtbl.reset e.integrity_refs;
   e.row_count <- 0;
+  e.summary_cache <- None;
   e.indexable <- true;
   e.stamp <- None;
   let fs = Kernel.fs kernel in
@@ -282,13 +291,28 @@ let summary kernel ~collection =
   let e = validate kernel collection in
   if e.row_count = 0 then None
   else
-    let secrecy =
-      Hashtbl.fold (fun t _ acc -> Label.add t acc) e.secrecy_refs Label.empty
-    in
-    let integrity =
-      Hashtbl.fold
-        (fun t n acc -> if n = e.row_count then Label.add t acc else acc)
-        e.integrity_refs Label.empty
+    let secrecy, integrity =
+      match e.summary_cache with
+      | Some folds -> folds
+      | None ->
+          (* Interning the folds keeps repeated queries on the same
+             collection on the memoized absorb-join path: same content
+             ids, so the downstream union/join probes hit. *)
+          let secrecy =
+            Label.intern
+              (Hashtbl.fold
+                 (fun t _ acc -> Label.add t acc)
+                 e.secrecy_refs Label.empty)
+          in
+          let integrity =
+            Label.intern
+              (Hashtbl.fold
+                 (fun t n acc ->
+                   if n = e.row_count then Label.add t acc else acc)
+                 e.integrity_refs Label.empty)
+          in
+          e.summary_cache <- Some (secrecy, integrity);
+          (secrecy, integrity)
     in
     (* The lookup path's taint (root, /store, the collection dir) is
        re-read fresh: ancestor labels can change without touching the

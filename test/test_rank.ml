@@ -391,3 +391,43 @@ let test_editor_app () =
   check bool_c "reputation grew" true (Editor.reputation e1 > before)
 
 let suite = suite @ [ Alcotest.test_case "editor app" `Quick test_editor_app ]
+
+(* ---- dangling endpoints (regression) ----
+
+   Removing a node leaves references to it inside other nodes'
+   successor sets (Depgraph.remove_node is O(1) by design). PageRank
+   and HITS used to crash on such ids with Not_found; they must drop
+   them instead, matching score_of's lenient default. *)
+
+let dangling_graph () =
+  let g = Depgraph.of_edges [ ("a", "b"); ("a", "gone"); ("b", "gone") ] in
+  Depgraph.remove_node g "gone";
+  g
+
+let test_pagerank_dangling_endpoint () =
+  let g = dangling_graph () in
+  check bool_c "gone is gone" false (Depgraph.mem g "gone");
+  check (Alcotest.list string_c) "successor still dangling" [ "b"; "gone" ]
+    (Depgraph.successors g "a");
+  let scores = Pagerank.compute g in
+  check int_c "scores for remaining nodes" 2 (List.length scores);
+  check bool_c "mass sums to one" true (abs_float (sum scores -. 1.0) < 1e-6);
+  check bool_c "unknown id scores zero" true
+    (Pagerank.score_of scores "gone" = 0.0)
+
+let test_hits_dangling_endpoint () =
+  let g = dangling_graph () in
+  let scores = Hits.compute g in
+  check int_c "authority list covers nodes" 2 (List.length scores.Hits.authority);
+  check bool_c "a is the hub" true (Hits.hub_of scores "a" > 0.0);
+  check bool_c "unknown id scores zero" true
+    (Hits.authority_of scores "gone" = 0.0)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "pagerank dangling endpoint" `Quick
+        test_pagerank_dangling_endpoint;
+      Alcotest.test_case "hits dangling endpoint" `Quick
+        test_hits_dangling_endpoint;
+    ]

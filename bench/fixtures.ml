@@ -410,3 +410,98 @@ let vet_platforms_l =
   lazy (List.map (fun n -> (n, vet_platform n)) [ 10; 100; 1000 ])
 
 let vet_platforms () = Lazy.force vet_platforms_l
+
+(* ---- trace-health ---- *)
+
+(* Two converged pairs distinguished only by whether their kernels
+   trace: the delta between their steady-state rounds IS the
+   context-propagation overhead. *)
+let traced_pair_l =
+  lazy
+    (let link, a = make_sync_pair ~prefix:"tt" ~files:[ "profile" ] in
+     let sa, sb = W5_federation.Sync.sides link in
+     List.iter
+       (fun (side : W5_federation.Sync.side) ->
+         W5_obs.Tracer.set_enabled
+           (W5_os.Kernel.tracer
+              (Platform.kernel side.W5_federation.Sync.platform))
+           true)
+       [ sa; sb ];
+     (link, a))
+
+let traced_link () = fst (Lazy.force traced_pair_l)
+
+let untraced_pair_l = lazy (make_sync_pair ~prefix:"tu" ~files:[ "profile" ])
+let untraced_link () = fst (Lazy.force untraced_pair_l)
+
+(* A synthetic two-provider forest for merge scaling: a third of the
+   spans are home roots, a third their local children, a third remote
+   continuations carrying contexts back at the home roots — every
+   merge pass reattaches [n/3] subtrees over an [n]-span index. *)
+let synthetic_trace n =
+  let open W5_obs in
+  let third = max 1 (n / 3) in
+  let home =
+    List.init third (fun i ->
+        let root =
+          Span.make ~id:(2 * i + 1) ~parent:None ~name:"sync.round"
+            ~fields:[ ("peer", "remote") ] ~start_tick:(4 * i)
+        in
+        let child =
+          Span.make ~id:(2 * i + 2)
+            ~parent:(Some (2 * i + 1))
+            ~name:"sync.export" ~fields:[] ~start_tick:(4 * i + 1)
+        in
+        Span.finish child ~tick:(4 * i + 2);
+        Span.add_child root child;
+        Span.finish root ~tick:(4 * i + 3);
+        root)
+  in
+  let remote =
+    List.init third (fun i ->
+        let ctx =
+          {
+            Trace_context.trace_origin = "home";
+            trace_root = 2 * i + 1;
+            parent_origin = "home";
+            parent_span = 2 * i + 1;
+            origin_tick = 4 * i + 1;
+          }
+        in
+        let span =
+          Span.make ~id:(i + 1) ~parent:None ~name:"sync.apply"
+            ~fields:(Trace_context.to_fields ctx)
+            ~start_tick:i
+        in
+        Span.finish span ~tick:(i + 1);
+        span)
+  in
+  [ ("home", home); ("remote", remote) ]
+
+let synthetic_trace_1k_l = lazy (synthetic_trace 1_000)
+let synthetic_trace_10k_l = lazy (synthetic_trace 10_000)
+let synthetic_trace_1k () = Lazy.force synthetic_trace_1k_l
+let synthetic_trace_10k () = Lazy.force synthetic_trace_10k_l
+
+(* A loaded health model: 10x10 observer/peer mesh, 50 rounds each —
+   the rollup cost `w5 health` pays per render. *)
+let health_loaded_l =
+  lazy
+    (let h = W5_obs.Health.create ~window:4096 () in
+     for o = 0 to 9 do
+       for p = 0 to 9 do
+         if o <> p then
+           for round = 1 to 50 do
+             W5_obs.Health.observe_round h
+               ~observer:(Printf.sprintf "prov%02d" o)
+               ~peer:(Printf.sprintf "prov%02d" p)
+               ~tick:(round * 7) ~ok:true
+               ~retries:(round mod 3)
+               ~faults:(if round mod 5 = 0 then 1 else 0)
+               ~timed_out:false ~recovered:0
+           done
+       done
+     done;
+     h)
+
+let health_loaded () = Lazy.force health_loaded_l

@@ -686,6 +686,43 @@ let bench_vet () =
        (F.vet_platforms ()))
 
 (* ------------------------------------------------------------------ *)
+(* trace-health: tracing overhead, merge scaling, health rollup        *)
+(* ------------------------------------------------------------------ *)
+
+let bench_trace_health () =
+  let traced_link = F.traced_link () and untraced_link = F.untraced_link () in
+  let trace_1k = F.synthetic_trace_1k ()
+  and trace_10k = F.synthetic_trace_10k () in
+  let health = F.health_loaded () in
+  (* a pre-filled ring: every commit below evicts the oldest trace,
+     measuring the O(1) eviction path *)
+  let ring = W5_obs.Tracer.create ~enabled:true ~capacity:16 () in
+  for i = 1 to 16 do
+    W5_obs.Tracer.start_span ring ~tick:i "warm";
+    W5_obs.Tracer.end_span ring ~tick:(i + 1)
+  done;
+  let ring_tick = ref 16 in
+  Test.make_grouped ~name:"trace-health"
+    [
+      Test.make ~name:"sync-round-traced"
+        (staged (fun () -> W5_federation.Sync.sync traced_link));
+      Test.make ~name:"sync-round-untraced"
+        (staged (fun () -> W5_federation.Sync.sync untraced_link));
+      Test.make ~name:"commit-at-capacity"
+        (staged (fun () ->
+             incr ring_tick;
+             W5_obs.Tracer.start_span ring ~tick:!ring_tick "bench";
+             W5_obs.Tracer.end_span ring ~tick:!ring_tick));
+      Test.make ~name:"merge-1k-spans"
+        (staged (fun () -> W5_obs.Trace_merge.merge trace_1k));
+      Test.make ~name:"merge-10k-spans"
+        (staged (fun () -> W5_obs.Trace_merge.merge trace_10k));
+      Test.make ~name:"health-report-90-pairs"
+        (staged (fun () ->
+             W5_obs.Health.report health ~now:(fun _ -> 10_000)));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -711,6 +748,7 @@ let group_thunks =
     ("client-filter", bench_filter);
     ("provenance", bench_provenance);
     ("vet", bench_vet);
+    ("trace-health", bench_trace_health);
   ]
 
 (* --smoke: one tiny iteration per test in every group, for CI —

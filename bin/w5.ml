@@ -363,9 +363,32 @@ let sync_cmd =
     (Cmd.info "sync" ~doc:"Demonstrate cross-provider mirroring (E6).")
     term
 
-(* ---- w5 trace: replay a generated workload and report ---- *)
+(* ---- w5 trace: replay a generated workload and report; with
+   --federated, the cross-provider distributed trace instead ---- *)
 
-let trace seed users length mix_name =
+(* The scripted 3-provider faulty sync, merged into one causal tree:
+   which hop dropped, who retried, where the crash hit and how the
+   write-ahead recovery closed it — across all three tracers. *)
+let federated_trace format =
+  let outcome = W5_federation.Scenario.run () in
+  let forest = W5_obs.Trace_merge.merge outcome.W5_federation.Scenario.spans in
+  match format with
+  | "json" -> print_endline (W5_obs.Trace_merge.to_json forest); `Ok ()
+  | "dot" -> print_string (W5_obs.Trace_merge.to_dot forest); `Ok ()
+  | "text" ->
+      Printf.printf
+        "federated trace: %s over %s (scripted faults on east~south)\n"
+        W5_federation.Scenario.user
+        (String.concat ", " W5_federation.Scenario.providers);
+      List.iter print_endline outcome.W5_federation.Scenario.round_notes;
+      Printf.printf "merged spans: %d\n\n" (W5_obs.Trace_merge.span_count forest);
+      print_string (W5_obs.Trace_merge.to_text forest);
+      `Ok ()
+  | other -> `Error (true, "unknown format: " ^ other)
+
+let trace seed users length mix_name federated format =
+  if federated then federated_trace format
+  else begin
   let society = build_society ~seed ~users ~enforcing:true in
   let mix =
     match mix_name with
@@ -393,6 +416,7 @@ let trace seed users length mix_name =
       Printf.printf "\nsuspicious apps (>=3 denials): %s\n"
         (String.concat ", " apps));
   `Ok ()
+  end
 
 let trace_cmd =
   let length =
@@ -403,10 +427,63 @@ let trace_cmd =
     Arg.(value & opt string "read-heavy" & info [ "mix" ] ~docv:"MIX"
            ~doc:"Action mix: read-heavy or write-heavy.")
   in
-  let term = Term.(ret (const trace $ seed_arg $ users_arg $ length $ mix)) in
+  let federated =
+    Arg.(value & flag
+         & info [ "federated" ]
+             ~doc:
+               "Instead of a workload replay: run the scripted 3-provider \
+                faulty sync and print the merged cross-provider trace \
+                (injected faults, retries and the crash recovery as \
+                annotated spans). Byte-reproducible.")
+  in
+  let format =
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT"
+           ~doc:"With --federated: text (default), json, or dot.")
+  in
+  let term =
+    Term.(ret (const trace $ seed_arg $ users_arg $ length $ mix $ federated
+               $ format))
+  in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Generate a seeded action trace, replay it, print the provider report.")
+       ~doc:
+         "Generate a seeded action trace, replay it, print the provider \
+          report; --federated merges the 3-provider faulty-sync trace instead.")
+    term
+
+(* ---- w5 health: federation peer health and gateway SLO ---- *)
+
+let health () =
+  let outcome = W5_federation.Scenario.run () in
+  let h = W5_federation.Peer.health outcome.W5_federation.Scenario.mesh in
+  let now = outcome.W5_federation.Scenario.health_now in
+  print_string (W5_obs.Health.render h ~now);
+  print_newline ();
+  let slo = outcome.W5_federation.Scenario.slo in
+  let slo_now = outcome.W5_federation.Scenario.slo_now in
+  print_string (W5_obs.Health.Slo.render slo ~now:slo_now);
+  let peer_sev =
+    List.fold_left
+      (fun acc r -> max acc (W5_obs.Health.severity r.W5_obs.Health.r_state))
+      0
+      (W5_obs.Health.report h ~now)
+  in
+  let sev =
+    if W5_obs.Health.Slo.breached slo ~now:slo_now then max peer_sev 2
+    else peer_sev
+  in
+  exit sev
+
+let health_cmd =
+  let term = Term.(const health $ const ()) in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Federation health over the scripted 3-provider scenario: per-peer \
+          sync health (last-success age, fault/retry rates, vector-clock \
+          lag, hysteresis) plus east's per-route gateway SLO / error budget. \
+          Exit status is the worst judgment (0 healthy, 2 degraded or SLO \
+          breach, 3 unreachable).")
     term
 
 (* ---- w5 export: a user's portable data bundle ---- *)
@@ -738,7 +815,8 @@ let experiments () =
     \  E17 e-mail is an export ............. test apps (digest email)\n\
     \  E18 provider operations ............. test platform (admin, limits), bench durability\n\
     \  E19 data portability ................ test federation (migrate*, takeout), w5 export\n\
-    \  E20 static vetting (\xc2\xa73.2) ........... test analysis, bench vet, w5 vet\n";
+    \  E20 static vetting (\xc2\xa73.2) ........... test analysis, bench vet, w5 vet\n\
+    \  OBS federation telemetry (\xc2\xa73.5) ..... test trace, bench trace-health, w5 trace --federated, w5 health\n";
   `Ok ()
 
 let experiments_cmd =
@@ -752,7 +830,7 @@ let main_cmd =
   let info = Cmd.info "w5" ~version:"1.0" ~doc in
   Cmd.group info
     [ serve_cmd; audit_cmd; explain_cmd; provenance_cmd; audit_report_cmd;
-      rank_cmd; sync_cmd; trace_cmd; export_cmd; stats_cmd; vet_cmd;
-      perf_cmd; experiments_cmd ]
+      rank_cmd; sync_cmd; trace_cmd; health_cmd; export_cmd; stats_cmd;
+      vet_cmd; perf_cmd; experiments_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -163,9 +163,34 @@ let import_bundle ?faults platform (account : Account.t) bundle =
 
 let migrate_account ?faults ~from_platform ~from_account ~to_platform
     ~to_account () =
-  match export_bundle ?faults from_platform from_account with
-  | Error _ as e -> e
-  | Ok bundle -> import_bundle ?faults to_platform to_account bundle
+  let kf = Platform.kernel from_platform in
+  let tracer_from = W5_os.Kernel.tracer kf in
+  let clock_from () = W5_os.Kernel.tick kf in
+  W5_obs.Tracer.with_span tracer_from ~clock:clock_from
+    ~fields:[ ("user", from_account.Account.user) ]
+    "migrate.account"
+    (fun () ->
+      match
+        W5_obs.Tracer.with_span tracer_from ~clock:clock_from "migrate.export"
+          (fun () -> export_bundle ?faults from_platform from_account)
+      with
+      | Error _ as e -> e
+      | Ok bundle -> (
+          let import () = import_bundle ?faults to_platform to_account bundle in
+          (* the import runs on the destination provider's kernel; the
+             carried context keeps both halves one trace *)
+          let kt = Platform.kernel to_platform in
+          let origin = Principal.name (Platform.provider from_platform) in
+          match
+            W5_obs.Tracer.context tracer_from ~origin ~tick:(clock_from ())
+          with
+          | None -> import ()
+          | Some context ->
+              W5_obs.Tracer.with_remote_span (W5_os.Kernel.tracer kt)
+                ~clock:(fun () -> W5_os.Kernel.tick kt)
+                ~context
+                ~fields:[ ("entries", string_of_int (List.length bundle)) ]
+                "migrate.import" import))
 
 (* The bundle file format reuses the record escaping: one entry per
    line, [path=content], both escaped. *)

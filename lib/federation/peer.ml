@@ -1,12 +1,23 @@
 open W5_platform
+open W5_os
 module Fault = W5_fault.Fault
+module Tracer = W5_obs.Tracer
+module Health = W5_obs.Health
 
 type t = {
   mutable sides : (string * Platform.t) list;  (* insertion order *)
   links : (string, Sync.link list) Hashtbl.t;  (* user -> pairwise links *)
+  health : Health.t;
 }
 
-let create () = { sides = []; links = Hashtbl.create 8 }
+let create ?health () =
+  {
+    sides = [];
+    links = Hashtbl.create 8;
+    health = (match health with Some h -> h | None -> Health.create ());
+  }
+
+let health t = t.health
 
 let add_provider t ~name platform =
   if List.mem_assoc name t.sides then Error (name ^ ": provider exists")
@@ -37,6 +48,8 @@ let link_user ?faults t ~user ~files =
           let a = { Sync.platform = pa; provider_name = name_a } in
           let b = { Sync.platform = pb; provider_name = name_b } in
           let pair = name_a ^ "~" ^ name_b in
+          let ka = Platform.kernel pa and kb = Platform.kernel pb in
+          let tracer_a = Kernel.tracer ka in
           (* the link handshake is a message too: it can be lost (a
              couple of retries) or arrive while a provider is down *)
           let rec handshake attempt =
@@ -44,14 +57,45 @@ let link_user ?faults t ~user ~files =
             | None -> Sync.establish ~a ~b ~user ~files ()
             | Some plan -> (
                 match Fault.consult plan ~op:"peer.link" ~file:pair with
-                | Some Fault.Drop when attempt < 3 -> handshake (attempt + 1)
+                | Some Fault.Drop when attempt < 3 ->
+                    Tracer.event tracer_a ~tick:(Kernel.tick ka)
+                      "peer.link.fault"
+                      ~fields:
+                        [ ("action", "drop");
+                          ("attempt", string_of_int attempt) ];
+                    handshake (attempt + 1)
                 | Some Fault.Drop -> Error (pair ^ ": link handshake lost")
                 | Some (Fault.Crash_before_apply | Fault.Crash_after_apply) ->
                     Error ("crash: peer.link " ^ pair)
                 | Some (Fault.Delay _ | Fault.Duplicate) | None ->
                     Sync.establish ?faults ~a ~b ~user ~files ())
           in
-          match handshake 1 with
+          let result =
+            Tracer.with_span tracer_a
+              ~clock:(fun () -> Kernel.tick ka)
+              ~fields:[ ("peer", name_b); ("pair", pair) ]
+              "peer.link"
+              (fun () ->
+                match handshake 1 with
+                | Error _ as e -> e
+                | Ok link ->
+                    (* the accepting side logs the handshake under the
+                       carried context — the first cross-provider edge
+                       of the trace *)
+                    (match
+                       Tracer.context tracer_a ~origin:name_a
+                         ~tick:(Kernel.tick ka)
+                     with
+                    | None -> ()
+                    | Some context ->
+                        Tracer.with_remote_span (Kernel.tracer kb)
+                          ~clock:(fun () -> Kernel.tick kb)
+                          ~context
+                          ~fields:[ ("peer", name_a) ]
+                          "peer.link.accept" ignore);
+                    Ok link)
+          in
+          match result with
           | Error _ as e -> e
           | Ok link -> build (link :: acc) rest)
     in
@@ -70,6 +114,25 @@ let user_links t user =
   | Some links -> Ok links
   | None -> Error (user ^ ": not linked")
 
+(* Fold one link's round outcome into the mesh's health model. Each
+   link's home (side A) is the observer: health is per-viewpoint, not
+   symmetric, because each side only witnesses its own rounds. *)
+let observe_link t link outcome =
+  let a, b = Sync.sides link in
+  let observer = a.Sync.provider_name and peer = b.Sync.provider_name in
+  let tick = Kernel.tick (Platform.kernel a.Sync.platform) in
+  (match outcome with
+  | Ok (stats : Sync.stats) ->
+      Health.observe_round t.health ~observer ~peer ~tick ~ok:true
+        ~retries:stats.Sync.retried ~faults:stats.Sync.faulted
+        ~timed_out:(stats.Sync.timed_out > 0)
+        ~recovered:stats.Sync.recovered
+  | Error _ ->
+      (* a crashed round: the peer interaction failed outright *)
+      Health.observe_round t.health ~observer ~peer ~tick ~ok:false ~retries:0
+        ~faults:1 ~timed_out:false ~recovered:0);
+  Health.note_lag t.health ~observer ~peer ~lag:(Sync.lag link)
+
 let sync_round t ~user =
   match user_links t user with
   | Error _ as e -> e
@@ -79,7 +142,9 @@ let sync_round t ~user =
           match acc with
           | Error _ as e -> e
           | Ok moved -> (
-              match Sync.sync link with
+              let result = Sync.sync link in
+              observe_link t link result;
+              match result with
               | Error _ as e -> e
               | Ok stats ->
                   Ok

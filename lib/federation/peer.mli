@@ -12,9 +12,19 @@ open W5_platform
 
 type t
 
-val create : unit -> t
+val create : ?health:W5_obs.Health.t -> unit -> t
+(** [health] supplies the peer-health model the mesh folds every
+    link's round outcomes into (a fresh default-windowed one
+    otherwise). *)
+
 val add_provider : t -> name:string -> Platform.t -> (unit, string) result
 (** Names must be unique within the mesh. *)
+
+val health : t -> W5_obs.Health.t
+(** The mesh's health model: one (observer, peer) row per link, the
+    observer being each link's home side. Fed by {!sync_round} —
+    round outcomes, fault/retry/timeout tallies and {!Sync.lag} — and
+    rendered by [w5 health]. *)
 
 val providers : t -> (string * Platform.t) list
 val provider : t -> name:string -> Platform.t option
@@ -29,6 +39,10 @@ val link_user :
     every created link, so one seeded plan drives the whole mesh. *)
 
 val linked_users : t -> string list
+
+val user_links : t -> string -> (Sync.link list, string) result
+(** The user's pairwise links in creation order — what a scripted
+    scenario tunes per-link fault plans on. *)
 
 val sync_round : t -> user:string -> (int, string) result
 (** Run every pairwise link once; returns the number of records that

@@ -1,0 +1,47 @@
+(** The scripted 3-provider faulty-sync scenario.
+
+    One deterministic story shared by [w5 trace --federated],
+    [w5 health], the golden tests and the README walkthrough: three
+    providers (east, west, south) hold the same user; the east~west
+    edge is reliable while east~south drops a delivery twice in round
+    1 (retries with backoff) and then crashes after the round's final
+    apply (write-ahead recovery in round 2). Everything runs on logical
+    clocks with scripted fault plans, so every run is byte-identical —
+    the golden files pin the whole merged trace and health report.
+
+    The user's records contain planted canary strings ({!canaries});
+    tests sweep every rendering for them to prove the telemetry story
+    carries no user bytes. *)
+
+type outcome = {
+  mesh : Peer.t;
+  spans : (string * W5_obs.Span.t list) list;
+      (** per provider, drained after every round, oldest first — the
+          {!W5_obs.Trace_merge.merge} input. *)
+  health_now : string -> int;
+      (** observer name → that provider's current tick, for
+          {!W5_obs.Health.report}. *)
+  slo : W5_obs.Health.Slo.t;  (** east's gateway ledger *)
+  slo_now : int;              (** east's tick for the SLO window *)
+  round_notes : string list;  (** one line per gossip round *)
+}
+
+val providers : string list
+(** [["east"; "west"; "south"]]. *)
+
+val user : string
+
+val canaries : string list
+(** User bytes planted in the synchronized records — must never appear
+    in any telemetry rendering. *)
+
+val run : unit -> outcome
+(** The scripted run: 4 gossip rounds plus deterministic gateway
+    traffic on east (3 front-page hits, 2 calls to a published app
+    whose handler never responds — spent error budget). *)
+
+val run_seeded : seed:int -> outcome
+(** The property-test variant: same mesh and story shape, but the
+    south-facing links run {!W5_fault.Fault.of_seed} plans derived
+    from [seed] over 6 rounds (no gateway traffic). Deterministic per
+    seed. *)

@@ -36,12 +36,14 @@ type stats = {
   retried : int;
   timed_out : int;
   recovered : int;
+  faulted : int;
 }
 
 (* Per-round mutable tallies threaded through the per-file logic. *)
 type counters = {
   mutable c_retried : int;
   mutable c_timed_out : int;
+  mutable c_faulted : int;
 }
 
 (* Durable link state lives in a dot-directory of the user's home on
@@ -233,6 +235,9 @@ let seen_clock link ~file =
 (* Telemetry and audit for faults land on side A's kernel: the link
    runs as an agent of that platform (see [meter_round]). *)
 let home_kernel link = Platform.kernel link.side_a.platform
+let home_tracer link = Kernel.tracer (home_kernel link)
+let home_tick link = Kernel.tick (home_kernel link)
+let sides link = (link.side_a, link.side_b)
 
 let note_fault link ~file ~action ~attempt =
   let account = Platform.account_exn link.side_a.platform link.link_user in
@@ -248,7 +253,41 @@ let note_fault link ~file ~action ~attempt =
        (Kernel.metrics (home_kernel link))
        "w5_sync_faults_total"
        ~help:"Federation transport faults hit (injected or observed)")
-    ~labels:[ ("action", Fault.action_name action) ]
+    ~labels:
+      [
+        ("action", Fault.action_name action);
+        ("peer", link.side_b.provider_name);
+      ];
+  W5_obs.Tracer.event (home_tracer link) ~tick:(home_tick link) "sync.fault"
+    ~fields:
+      [
+        ("action", Fault.action_name action);
+        ("attempt", string_of_int attempt);
+        ("file", file);
+      ]
+
+(* Bracket a delivery leg in a span on the kernel that executes it: a
+   plain child span when that kernel is the link's home side, a remote
+   continuation carrying the handoff {!W5_obs.Trace_context} when it
+   is the peer — the breadcrumb Trace_merge later reattaches. *)
+let traced link platform ~op ~file f =
+  let home = home_kernel link in
+  let k = Platform.kernel platform in
+  let fields = [ ("op", op); ("file", file) ] in
+  if k == home then
+    W5_obs.Tracer.with_span (Kernel.tracer k)
+      ~clock:(fun () -> Kernel.tick k)
+      ~fields ("sync." ^ op) f
+  else
+    match
+      W5_obs.Tracer.context (Kernel.tracer home)
+        ~origin:link.side_a.provider_name ~tick:(Kernel.tick home)
+    with
+    | None -> f ()
+    | Some context ->
+        W5_obs.Tracer.with_remote_span (Kernel.tracer k)
+          ~clock:(fun () -> Kernel.tick k)
+          ~context ~fields ("sync." ^ op) f
 
 (* Backoff and delay are logical ticks on both kernels — no wall
    clock anywhere, so a faulty run replays identically from its
@@ -271,34 +310,41 @@ let deliver link ~counters ~budget ~op ~file
       dup:bool ->
       crash:[ `No | `Before | `After ] ->
       ('a, string) result) : [ `Done of ('a, string) result | `Timed_out ] =
+  let timed_out () =
+    counters.c_timed_out <- counters.c_timed_out + 1;
+    W5_obs.Tracer.event (home_tracer link) ~tick:(home_tick link)
+      "sync.timeout"
+      ~fields:[ ("op", op); ("file", file) ];
+    `Timed_out
+  in
   let rec go attempt =
-    if attempt > link.max_attempts then begin
-      counters.c_timed_out <- counters.c_timed_out + 1;
-      `Timed_out
-    end
+    if attempt > link.max_attempts then timed_out ()
     else
       match Fault.consult link.faults ~op ~file with
       | None -> `Done (run ~dup:false ~crash:`No)
       | Some action -> (
           note_fault link ~file ~action ~attempt;
+          counters.c_faulted <- counters.c_faulted + 1;
           match action with
           | Fault.Drop ->
               let pause = min link.backoff_cap (1 lsl (attempt - 1)) in
-              if !budget < pause then begin
-                counters.c_timed_out <- counters.c_timed_out + 1;
-                `Timed_out
-              end
+              if !budget < pause then timed_out ()
               else begin
                 budget := !budget - pause;
                 advance_ticks link pause;
                 counters.c_retried <- counters.c_retried + 1;
+                W5_obs.Tracer.event (home_tracer link) ~tick:(home_tick link)
+                  "sync.retry"
+                  ~fields:
+                    [
+                      ("attempt", string_of_int (attempt + 1));
+                      ("backoff", string_of_int pause);
+                      ("file", file);
+                    ];
                 go (attempt + 1)
               end
           | Fault.Delay n ->
-              if !budget < n then begin
-                counters.c_timed_out <- counters.c_timed_out + 1;
-                `Timed_out
-              end
+              if !budget < n then timed_out ()
               else begin
                 budget := !budget - n;
                 advance_ticks link n;
@@ -379,13 +425,18 @@ let recover link =
     + recover_side ~platform:link.side_b.platform ~account:account_b
         ~peer:link.side_a.provider_name
   in
-  if n > 0 then
+  if n > 0 then begin
     W5_obs.Metrics.inc
       (W5_obs.Metrics.counter
          (Kernel.metrics (home_kernel link))
          "w5_sync_recoveries_total"
          ~help:"Write-ahead sync intents replayed after a crash")
+      ~labels:[ ("peer", link.side_b.provider_name) ]
       ~by:n;
+    W5_obs.Tracer.event (home_tracer link) ~tick:(home_tick link)
+      "sync.recover"
+      ~fields:[ ("intents", string_of_int n) ]
+  end;
   n
 
 (* ---- the per-file synchronization ------------------------------------ *)
@@ -437,8 +488,10 @@ let sync_file link ~counters ~budget ~file =
   let export_leg platform account =
     deliver link ~counters ~budget ~op:"export" ~file
       (fun ~dup:_ ~crash ->
-        if crash <> `No then raise (Fault.Crashed ("export:" ^ file));
-        Result.map_error Os_error.to_string (export_record platform account ~file))
+        traced link platform ~op:"export" ~file (fun () ->
+            if crash <> `No then raise (Fault.Crashed ("export:" ^ file));
+            Result.map_error Os_error.to_string
+              (export_record platform account ~file)))
   in
   (* Fault-aware apply leg with the write-ahead protocol: intent
      before the write, cleared after; the two crash points leave the
@@ -448,6 +501,7 @@ let sync_file link ~counters ~budget ~file =
   let apply_leg ~dst_platform ~dst_account ~src_name record =
     deliver link ~counters ~budget ~op:"apply" ~file
       (fun ~dup ~crash ->
+        traced link dst_platform ~op:"apply" ~file @@ fun () ->
         let do_write () =
           match ensure_parent_dir dst_platform dst_account ~file with
           | Error e -> Error (Os_error.to_string e)
@@ -542,6 +596,7 @@ let sync_file link ~counters ~budget ~file =
   let delete_on platform account =
     deliver link ~counters ~budget ~op:"delete" ~file
       (fun ~dup ~crash ->
+        traced link platform ~op:"delete" ~file @@ fun () ->
         if crash <> `No then raise (Fault.Crashed ("delete:" ^ file));
         let unlink () =
           match Platform.delete_user_file platform account ~file with
@@ -683,17 +738,23 @@ let expanded_files link =
 (* Sync telemetry lands on side A's kernel registry: the link runs as
    an agent of that platform, and a one-sided home avoids double
    counting. Outcomes are direction/verdict names only. *)
+(* Every sync counter carries the peer's provider name: a mesh home
+   kernel runs one link per peer, and an unlabeled total cannot say
+   *which* peer is dropping messages. Provider names are a closed set
+   well under the registry cardinality cap. *)
 let meter_round link stats =
   let metrics = Kernel.metrics (home_kernel link) in
+  let peer = ("peer", link.side_b.provider_name) in
   W5_obs.Metrics.inc
     (W5_obs.Metrics.counter metrics "w5_sync_rounds_total"
-       ~help:"Completed federation sync rounds");
+       ~help:"Completed federation sync rounds")
+    ~labels:[ peer ];
   let outcomes = W5_obs.Metrics.counter metrics "w5_sync_outcomes_total"
       ~help:"Per-file sync outcomes by direction or merge"
   in
   let bump outcome by =
     if by > 0 then
-      W5_obs.Metrics.inc outcomes ~labels:[ ("outcome", outcome) ] ~by
+      W5_obs.Metrics.inc outcomes ~labels:[ ("outcome", outcome); peer ] ~by
   in
   bump "a_to_b" stats.a_to_b;
   bump "b_to_a" stats.b_to_a;
@@ -704,7 +765,7 @@ let meter_round link stats =
     W5_obs.Metrics.inc
       (W5_obs.Metrics.counter metrics "w5_sync_retries_total"
          ~help:"Delivery retries after dropped federation messages")
-      ~by:stats.retried
+      ~labels:[ peer ] ~by:stats.retried
 
 let meter_crash link =
   W5_obs.Metrics.inc
@@ -712,6 +773,7 @@ let meter_crash link =
        (Kernel.metrics (home_kernel link))
        "w5_sync_crashes_total"
        ~help:"Sync rounds aborted by a provider crash")
+    ~labels:[ ("peer", link.side_b.provider_name) ]
 
 (* Round latency in side A's logical ticks: retries, backoff pauses,
    and per-file kernel crossings all drive that clock, so a faulty
@@ -726,13 +788,14 @@ let observe_round_ticks link ~t0 ~outcome =
     ~labels:[ ("outcome", outcome) ]
     (Kernel.tick (home_kernel link) - t0)
 
-let sync link =
+let sync_body link =
   let t0 = Kernel.tick (home_kernel link) in
   (* crash-restart recovery first: replay any write-ahead intent a
      previous round left behind *)
   let recovered = recover link in
-  let counters = { c_retried = 0; c_timed_out = 0 } in
+  let counters = { c_retried = 0; c_timed_out = 0; c_faulted = 0 } in
   let budget = ref link.round_budget in
+  let tracer = home_tracer link in
   let result =
     try
       List.fold_left
@@ -740,7 +803,13 @@ let sync link =
           match acc with
           | Error _ as e -> e
           | Ok stats -> (
-              match sync_file link ~counters ~budget ~file with
+              match
+                W5_obs.Tracer.with_span tracer
+                  ~clock:(fun () -> home_tick link)
+                  ~fields:[ ("file", file) ]
+                  "sync.file"
+                  (fun () -> sync_file link ~counters ~budget ~file)
+              with
               | Error e -> Error (file ^ ": " ^ e)
               | Ok `Unchanged -> Ok { stats with unchanged = stats.unchanged + 1 }
               | Ok `A_to_b -> Ok { stats with a_to_b = stats.a_to_b + 1 }
@@ -757,6 +826,7 @@ let sync link =
              retried = 0;
              timed_out = 0;
              recovered;
+             faulted = 0;
            })
         (expanded_files link)
     with Fault.Crashed site ->
@@ -767,7 +837,8 @@ let sync link =
   | Ok stats ->
       let stats =
         { stats with retried = counters.c_retried;
-          timed_out = counters.c_timed_out }
+          timed_out = counters.c_timed_out;
+          faulted = counters.c_faulted }
       in
       meter_round link stats;
       observe_round_ticks link ~t0 ~outcome:"ok";
@@ -780,6 +851,33 @@ let sync link =
   | Error _ as e ->
       observe_round_ticks link ~t0 ~outcome:"error";
       e
+
+let sync link =
+  let tracer = home_tracer link in
+  W5_obs.Tracer.with_span tracer
+    ~clock:(fun () -> home_tick link)
+    ~fields:[ ("peer", link.side_b.provider_name) ]
+    "sync.round"
+    (fun () ->
+      let result = sync_body link in
+      W5_obs.Tracer.annotate tracer
+        [ ("outcome", match result with Ok _ -> "ok" | Error _ -> "error") ];
+      result)
+
+(* How far the durable seen clocks trail the replicas right now:
+   version steps acknowledged by neither side's last round — 0 once a
+   clean round has converged, growing while faults keep a peer from
+   acknowledging. *)
+let lag link =
+  List.fold_left
+    (fun acc file ->
+      let current = current_clock link ~file in
+      let seen = seen_clock link ~file in
+      let step node =
+        max 0 (Vector_clock.get current ~node - Vector_clock.get seen ~node)
+      in
+      acc + step link.side_a.provider_name + step link.side_b.provider_name)
+    0 (expanded_files link)
 
 let converged link =
   let account_a = Platform.account_exn link.side_a.platform link.link_user in

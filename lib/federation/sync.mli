@@ -72,6 +72,7 @@ type stats = {
   retried : int;   (** deliveries re-sent after a dropped message *)
   timed_out : int; (** files abandoned this round (attempts/budget spent) *)
   recovered : int; (** write-ahead intents replayed before the round *)
+  faulted : int;   (** injected/observed transport faults hit this round *)
 }
 
 val establish :
@@ -113,6 +114,17 @@ val add_directory : link -> string -> unit
 val directories : link -> string list
 val files : link -> string list
 val user : link -> string
+
+val sides : link -> side * side
+(** (side A, side B) — side A is the link's "home": its kernel owns
+    the round's metrics, audit records and trace root. *)
+
+val lag : link -> int
+(** Vector-clock lag: version steps of either replica the link's
+    durable seen clocks have not acknowledged, summed over the
+    worklist. 0 once a clean round has converged; grows while faults
+    keep deliveries from completing — the health model's
+    "is my peer keeping up" input. *)
 
 val export_record :
   Platform.t -> Account.t -> file:string ->

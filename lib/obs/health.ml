@@ -1,0 +1,264 @@
+type state = Healthy | Degraded | Unreachable
+
+let state_name = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Unreachable -> "unreachable"
+
+let severity = function Healthy -> 0 | Degraded -> 2 | Unreachable -> 3
+
+type sample = {
+  s_tick : int;
+  s_ok : bool;
+  s_retries : int;
+  s_faults : int;
+  s_timed_out : bool;
+  s_recovered : int;
+}
+
+type peer_stats = {
+  mutable last_ok : int option;
+  mutable last_bad : int option;
+  mutable total_rounds : int;
+  mutable window : sample list; (* newest first, pruned to the tick window *)
+  mutable lag : int;
+}
+
+type t = {
+  h_window : int;
+  h_recover_after : int;
+  h_unreachable_after : int;
+  peers : (string * string, peer_stats) Hashtbl.t;
+}
+
+let create ?(window = 256) ?(recover_after = 64) ?(unreachable_after = 512) () =
+  {
+    h_window = max 1 window;
+    h_recover_after = max 1 recover_after;
+    h_unreachable_after = max 1 unreachable_after;
+    peers = Hashtbl.create 16;
+  }
+
+let stats_for t ~observer ~peer =
+  match Hashtbl.find_opt t.peers (observer, peer) with
+  | Some s -> s
+  | None ->
+      let s =
+        { last_ok = None; last_bad = None; total_rounds = 0; window = [];
+          lag = 0 }
+      in
+      Hashtbl.add t.peers (observer, peer) s;
+      s
+
+let prune t stats ~now =
+  let floor = now - t.h_window in
+  stats.window <- List.filter (fun s -> s.s_tick > floor) stats.window
+
+let observe_round t ~observer ~peer ~tick ~ok ~retries ~faults ~timed_out
+    ~recovered =
+  let stats = stats_for t ~observer ~peer in
+  stats.total_rounds <- stats.total_rounds + 1;
+  if ok then stats.last_ok <- Some tick;
+  if (not ok) || retries > 0 || faults > 0 || timed_out then
+    stats.last_bad <- Some tick;
+  stats.window <-
+    { s_tick = tick; s_ok = ok; s_retries = retries; s_faults = faults;
+      s_timed_out = timed_out; s_recovered = recovered }
+    :: stats.window;
+  prune t stats ~now:tick
+
+let note_lag t ~observer ~peer ~lag =
+  (stats_for t ~observer ~peer).lag <- max 0 lag
+
+(* Tick-based hysteresis: one clean round does not clear Degraded (the
+   pair must stay clean for [recover_after] ticks), and Unreachable is
+   purely an age judgment — it clears the moment a round succeeds
+   again, because success {e is} reachability. *)
+let state_of t ~observer ~peer ~now =
+  match Hashtbl.find_opt t.peers (observer, peer) with
+  | None -> Unreachable
+  | Some stats -> (
+      match stats.last_ok with
+      | None -> Unreachable
+      | Some ok_tick ->
+          if now - ok_tick > t.h_unreachable_after then Unreachable
+          else
+            let degraded =
+              match stats.last_bad with
+              | None -> false
+              | Some bad_tick -> now - bad_tick < t.h_recover_after
+            in
+            if degraded then Degraded else Healthy)
+
+type row = {
+  r_observer : string;
+  r_peer : string;
+  r_state : state;
+  r_last_ok_age : int option;
+  r_rounds : int;
+  r_faults : int;
+  r_retries : int;
+  r_timeouts : int;
+  r_recoveries : int;
+  r_lag : int;
+}
+
+(* [now] maps an observer to its own kernel's current tick: every age
+   in a row is measured on the clock the samples were recorded on —
+   cross-provider ticks are not comparable (each kernel counts its own
+   crossings), so a single global "now" would skew every row. *)
+let report t ~now =
+  Hashtbl.fold
+    (fun (observer, peer) stats acc ->
+      let now = now observer in
+      prune t stats ~now;
+      let faults, retries, timeouts, recoveries =
+        List.fold_left
+          (fun (f, r, to_, rec_) s ->
+            ( f + s.s_faults,
+              r + s.s_retries,
+              to_ + (if s.s_timed_out then 1 else 0),
+              rec_ + s.s_recovered ))
+          (0, 0, 0, 0) stats.window
+      in
+      {
+        r_observer = observer;
+        r_peer = peer;
+        r_state = state_of t ~observer ~peer ~now;
+        r_last_ok_age = Option.map (fun tick -> now - tick) stats.last_ok;
+        r_rounds = List.length stats.window;
+        r_faults = faults;
+        r_retries = retries;
+        r_timeouts = timeouts;
+        r_recoveries = recoveries;
+        r_lag = stats.lag;
+      }
+      :: acc)
+    t.peers []
+  |> List.sort (fun a b ->
+         match String.compare a.r_observer b.r_observer with
+         | 0 -> String.compare a.r_peer b.r_peer
+         | c -> c)
+
+let window t = t.h_window
+
+let render t ~now =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "peer health (window %d ticks)\n" t.h_window);
+  let rows = report t ~now in
+  if rows = [] then Buffer.add_string buf "  (no peers observed)\n"
+  else
+    List.iter
+      (fun r ->
+        let age =
+          match r.r_last_ok_age with
+          | None -> "never"
+          | Some a -> Printf.sprintf "age %d" a
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %s -> %s  %-11s  last_ok %s  rounds=%d faults=%d retries=%d timeouts=%d recoveries=%d lag=%d\n"
+             r.r_observer r.r_peer
+             (String.uppercase_ascii (state_name r.r_state))
+             age r.r_rounds r.r_faults r.r_retries r.r_timeouts r.r_recoveries
+             r.r_lag))
+      rows;
+  Buffer.contents buf
+
+(* ---- gateway SLO / error budget --------------------------------------- *)
+
+module Slo = struct
+  type event = { e_tick : int; e_error : bool }
+
+  type route_stats = { mutable events : event list (* newest first *) }
+
+  type t = {
+    s_window : int;
+    s_objective_bp : int; (* availability objective in basis points *)
+    routes : (string, route_stats) Hashtbl.t;
+  }
+
+  let create ?(window = 256) ?(objective_bp = 9900) () =
+    {
+      s_window = max 1 window;
+      s_objective_bp = min 10000 (max 0 objective_bp);
+      routes = Hashtbl.create 16;
+    }
+
+  let observe t ~route ~tick ~status =
+    let stats =
+      match Hashtbl.find_opt t.routes route with
+      | Some s -> s
+      | None ->
+          let s = { events = [] } in
+          Hashtbl.add t.routes route s;
+          s
+    in
+    stats.events <- { e_tick = tick; e_error = status >= 500 } :: stats.events;
+    let floor = tick - t.s_window in
+    stats.events <- List.filter (fun e -> e.e_tick > floor) stats.events
+
+  type row = {
+    sr_route : string;
+    sr_total : int;
+    sr_errors : int;
+    sr_availability_bp : int;
+    sr_budget : int;
+    sr_breached : bool;
+  }
+
+  let report t ~now =
+    Hashtbl.fold
+      (fun route stats acc ->
+        let floor = now - t.s_window in
+        stats.events <- List.filter (fun e -> e.e_tick > floor) stats.events;
+        let total = List.length stats.events in
+        let errors =
+          List.length (List.filter (fun e -> e.e_error) stats.events)
+        in
+        let availability_bp =
+          if total = 0 then 10000 else (total - errors) * 10000 / total
+        in
+        (* the budget rounds *up*: with the default 99% objective, any
+           window of fewer than 100 requests still tolerates one error
+           rather than breaching on the first 5xx *)
+        let budget =
+          (total * (10000 - t.s_objective_bp) + 9999) / 10000
+        in
+        {
+          sr_route = route;
+          sr_total = total;
+          sr_errors = errors;
+          sr_availability_bp = availability_bp;
+          sr_budget = budget;
+          sr_breached = errors > budget;
+        }
+        :: acc)
+      t.routes []
+    |> List.sort (fun a b -> String.compare a.sr_route b.sr_route)
+
+  let pct_of_bp bp = Printf.sprintf "%d.%02d%%" (bp / 100) (bp mod 100)
+
+  let breached t ~now = List.exists (fun r -> r.sr_breached) (report t ~now)
+
+  let render t ~now =
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "gateway SLO (objective %s, window %d ticks, now t%d)\n"
+         (pct_of_bp t.s_objective_bp) t.s_window now);
+    let rows = report t ~now in
+    if rows = [] then Buffer.add_string buf "  (no requests observed)\n"
+    else
+      List.iter
+        (fun r ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  %-24s availability %s (%d/%d)  budget %d, spent %d%s\n"
+               r.sr_route
+               (pct_of_bp r.sr_availability_bp)
+               (r.sr_total - r.sr_errors) r.sr_total r.sr_budget r.sr_errors
+               (if r.sr_breached then "  BREACHED" else "")))
+        rows;
+    Buffer.contents buf
+end

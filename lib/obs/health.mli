@@ -1,0 +1,108 @@
+(** Peer health and gateway SLO accounting, in logical ticks.
+
+    A federation of mutually distrusting providers needs each side to
+    answer "is my peer alive, and is it keeping up?" from facts it
+    already owns: its own sync outcomes, its own retry/fault tallies,
+    the vector-clock distance between what it holds and what it last
+    acknowledged. This module folds those per-round observations into
+    a three-state judgment per (observer, peer) pair — never symmetric,
+    because each side only sees its own rounds — plus a per-route
+    SLO/error-budget ledger for the gateway.
+
+    Everything here is structural: provider names, counts, tick ages.
+    No user bytes, no label contents — the health report is as
+    exportable as the metrics registry (DESIGN §15). *)
+
+type state = Healthy | Degraded | Unreachable
+
+val state_name : state -> string
+val severity : state -> int
+(** CI-gateable exit codes in the [w5 vet] style: Healthy [0],
+    Degraded [2], Unreachable [3]. *)
+
+type t
+
+val create :
+  ?window:int -> ?recover_after:int -> ?unreachable_after:int -> unit -> t
+(** [window] (default 256 ticks) bounds the rolling rate sample;
+    [recover_after] (default 64) is the hysteresis: a pair that saw a
+    fault stays Degraded until it has been clean that long;
+    [unreachable_after] (default 512) is the last-successful-sync age
+    past which a peer is Unreachable. *)
+
+val observe_round :
+  t -> observer:string -> peer:string -> tick:int -> ok:bool ->
+  retries:int -> faults:int -> timed_out:bool -> recovered:int -> unit
+(** Fold one sync round's outcome (the PR-4 counters, per round) into
+    the pair's rolling window. [ok] is "the round completed without
+    crashing"; retries/faults/timeouts mark it bad for hysteresis even
+    when it completed. *)
+
+val note_lag : t -> observer:string -> peer:string -> lag:int -> unit
+(** Record the vector-clock lag the observer currently sees: how many
+    version steps of its own replica the durable seen clock trails by. *)
+
+val state_of : t -> observer:string -> peer:string -> now:int -> state
+(** Unreachable for a pair never observed or whose last success is
+    older than [unreachable_after]; Degraded while inside the
+    hysteresis window after any fault; Healthy otherwise. A successful
+    round clears Unreachable immediately — success {e is}
+    reachability. *)
+
+type row = {
+  r_observer : string;
+  r_peer : string;
+  r_state : state;
+  r_last_ok_age : int option;  (** [now - last success], [None] = never *)
+  r_rounds : int;              (** rounds inside the window *)
+  r_faults : int;
+  r_retries : int;
+  r_timeouts : int;
+  r_recoveries : int;
+  r_lag : int;
+}
+
+val report : t -> now:(string -> int) -> row list
+(** [now observer] must return {e that observer's} current tick:
+    samples were recorded on the observer's own kernel clock and
+    cross-provider ticks are not comparable, so every age is measured
+    per viewpoint. Sorted by (observer, peer) — deterministic for
+    goldens. *)
+
+val render : t -> now:(string -> int) -> string
+(** The [w5 health] peer section: one aligned line per pair. *)
+
+val window : t -> int
+
+(** Per-route gateway SLO over tick windows: availability against an
+    objective, expressed as an error budget ("this window may spend N
+    5xx responses") in integer basis points — no floats, so the
+    rendering is deterministic. *)
+module Slo : sig
+  type t
+
+  val create : ?window:int -> ?objective_bp:int -> unit -> t
+  (** [objective_bp] is the availability objective in basis points
+      (default 9900 = 99.00%); [window] defaults to 256 ticks. *)
+
+  val observe : t -> route:string -> tick:int -> status:int -> unit
+  (** Status ≥ 500 spends error budget; everything else (including
+      4xx — the user's fault, not the platform's) counts as served. *)
+
+  type row = {
+    sr_route : string;
+    sr_total : int;
+    sr_errors : int;
+    sr_availability_bp : int;
+    sr_budget : int;      (** errors the objective tolerates, rounded up *)
+    sr_breached : bool;   (** [sr_errors > sr_budget] *)
+  }
+
+  val report : t -> now:int -> row list
+  (** Sorted by route. *)
+
+  val breached : t -> now:int -> bool
+
+  val render : t -> now:int -> string
+  (** The [w5 health] SLO section. *)
+end

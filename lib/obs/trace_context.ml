@@ -1,0 +1,49 @@
+type t = {
+  trace_origin : string;
+  trace_root : int;
+  parent_origin : string;
+  parent_span : int;
+  origin_tick : int;
+}
+
+(* Span-field vocabulary for a carried context. One key per component:
+   parsing a packed value back apart would have to guess at separators
+   inside provider names. *)
+let k_trace_origin = "w5.trace.origin"
+let k_trace_root = "w5.trace.root"
+let k_parent_origin = "w5.parent.origin"
+let k_parent_span = "w5.parent.span"
+let k_origin_tick = "w5.handoff.tick"
+
+let to_fields t =
+  [
+    (k_trace_origin, t.trace_origin);
+    (k_trace_root, string_of_int t.trace_root);
+    (k_parent_origin, t.parent_origin);
+    (k_parent_span, string_of_int t.parent_span);
+    (k_origin_tick, string_of_int t.origin_tick);
+  ]
+
+let of_fields fields =
+  let find k = List.assoc_opt k fields in
+  let int_of k =
+    match find k with
+    | None -> None
+    | Some v -> int_of_string_opt v
+  in
+  match
+    (find k_trace_origin, int_of k_trace_root, find k_parent_origin,
+     int_of k_parent_span, int_of k_origin_tick)
+  with
+  | Some trace_origin, Some trace_root, Some parent_origin,
+    Some parent_span, Some origin_tick ->
+      Some { trace_origin; trace_root; parent_origin; parent_span; origin_tick }
+  | _ -> None
+
+let is_context_field (k, _) =
+  k = k_trace_origin || k = k_trace_root || k = k_parent_origin
+  || k = k_parent_span || k = k_origin_tick
+
+let describe t =
+  Printf.sprintf "%s#%d via %s#%d @t%d" t.trace_origin t.trace_root
+    t.parent_origin t.parent_span t.origin_tick

@@ -1,0 +1,38 @@
+(** The trace identity a request carries across a provider boundary.
+
+    When a federation operation (a sync round, a link handshake, a
+    migration) hands off to a peer platform, this is {e everything}
+    that crosses with it for tracing purposes: the trace's origin
+    provider and root span id, the span on the sending side the remote
+    work continues, and the sender's logical tick at the handoff. Ids
+    and ticks only — a context can never carry user bytes, so
+    propagating it is as label-safe as the spans themselves.
+
+    On the receiving side the context rides as ordinary span fields on
+    the remote root span ({!to_fields}); {!Trace_merge} later finds
+    those fields ({!of_fields}) and reattaches the remote subtree
+    under its cross-provider parent. *)
+
+type t = {
+  trace_origin : string;  (** provider that started the whole trace *)
+  trace_root : int;       (** root span id {e on the origin provider} *)
+  parent_origin : string; (** provider whose span the remote work continues *)
+  parent_span : int;      (** span id on [parent_origin] *)
+  origin_tick : int;      (** sender's logical tick at the handoff *)
+}
+
+val to_fields : t -> (string * string) list
+(** Encode as span fields ([w5.trace.*] / [w5.parent.*] /
+    [w5.handoff.tick] keys). *)
+
+val of_fields : (string * string) list -> t option
+(** Inverse of {!to_fields}; [None] when the fields are absent or
+    malformed (a span that is not a remote continuation). *)
+
+val is_context_field : string * string -> bool
+(** Does this span field belong to the carried-context vocabulary?
+    Renderers use it to show the hop as a marker instead of raw
+    fields. *)
+
+val describe : t -> string
+(** ["origin#root via parent_origin#span @tN"] — for annotations. *)

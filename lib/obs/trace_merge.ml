@@ -1,0 +1,191 @@
+type node = {
+  node_provider : string;
+  node_span : Span.t;
+  node_remote : Trace_context.t option;
+  mutable node_children : node list;
+}
+
+type forest = node list
+
+(* Is [candidate] inside [root]'s subtree (itself included)? Attaching
+   a remote root under one of its own descendants would knot the
+   forest into a cycle; a forged or corrupted context must stay an
+   orphan instead. *)
+let rec in_subtree root candidate =
+  root == candidate || List.exists (fun c -> in_subtree c candidate) root.node_children
+
+let merge per_provider =
+  let index : (string * int, node) Hashtbl.t = Hashtbl.create 64 in
+  (* one node per span, local children pre-wired, every span indexed *)
+  let rec build provider (span : Span.t) =
+    let node =
+      {
+        node_provider = provider;
+        node_span = span;
+        node_remote = Trace_context.of_fields span.Span.span_fields;
+        node_children = [];
+      }
+    in
+    node.node_children <- List.map (build provider) span.Span.children;
+    Hashtbl.replace index (provider, span.Span.span_id) node;
+    node
+  in
+  let roots =
+    List.concat_map
+      (fun (provider, spans) ->
+        List.map (fun span -> build provider span) spans)
+      per_provider
+  in
+  (* reattach remote continuations under their cross-provider parents;
+     unmatched (or cycle-forming) contexts leave the node a root *)
+  List.filter
+    (fun node ->
+      match node.node_remote with
+      | None -> true
+      | Some ctx -> (
+          match
+            Hashtbl.find_opt index
+              (ctx.Trace_context.parent_origin, ctx.Trace_context.parent_span)
+          with
+          | Some parent when not (in_subtree node parent) ->
+              parent.node_children <- parent.node_children @ [ node ];
+              false
+          | Some _ | None -> true))
+    roots
+
+let fold forest ~init ~f =
+  let rec go depth acc node =
+    let acc = f acc ~depth node in
+    List.fold_left (go (depth + 1)) acc node.node_children
+  in
+  List.fold_left (go 0) init forest
+
+let span_count forest = fold forest ~init:0 ~f:(fun n ~depth:_ _ -> n + 1)
+
+let visible_fields (span : Span.t) =
+  List.filter
+    (fun field -> not (Trace_context.is_context_field field))
+    span.Span.span_fields
+
+let render_fields fields =
+  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) fields)
+
+let span_times (span : Span.t) =
+  let d = Span.duration span in
+  if d = 0 then Printf.sprintf "[t%d +0]" span.Span.start_tick
+  else
+    Printf.sprintf "[t%d..t%d +%d]" span.Span.start_tick span.Span.end_tick d
+
+let hop_marker node =
+  match node.node_remote with
+  | None -> None
+  | Some ctx ->
+      Some
+        (Printf.sprintf "(hop from %s#%d @t%d)" ctx.Trace_context.parent_origin
+           ctx.Trace_context.parent_span ctx.Trace_context.origin_tick)
+
+let to_text forest =
+  let buf = Buffer.create 1024 in
+  let rec go depth node =
+    let span = node.node_span in
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    if node.node_remote <> None then Buffer.add_string buf "~ ";
+    Buffer.add_string buf ("[" ^ node.node_provider ^ "] ");
+    Buffer.add_string buf span.Span.span_name;
+    Buffer.add_string buf ("  " ^ span_times span);
+    (match visible_fields span with
+    | [] -> ()
+    | fields -> Buffer.add_string buf ("  " ^ render_fields fields));
+    (match hop_marker node with
+    | None -> ()
+    | Some m -> Buffer.add_string buf ("  " ^ m));
+    Buffer.add_char buf '\n';
+    List.iter (go (depth + 1)) node.node_children
+  in
+  List.iteri
+    (fun i root ->
+      if i > 0 then Buffer.add_char buf '\n';
+      go 0 root)
+    forest;
+  Buffer.contents buf
+
+let to_json forest =
+  let buf = Buffer.create 2048 in
+  let str = Exposition.json_string in
+  let rec emit node =
+    let span = node.node_span in
+    Buffer.add_string buf "{\"provider\":";
+    Buffer.add_string buf (str node.node_provider);
+    Buffer.add_string buf ",\"name\":";
+    Buffer.add_string buf (str span.Span.span_name);
+    Buffer.add_string buf (Printf.sprintf ",\"span_id\":%d" span.Span.span_id);
+    Buffer.add_string buf
+      (Printf.sprintf ",\"start_tick\":%d,\"end_tick\":%d" span.Span.start_tick
+         span.Span.end_tick);
+    (match node.node_remote with
+    | None -> ()
+    | Some ctx ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             ",\"remote\":{\"trace_origin\":%s,\"trace_root\":%d,\"parent_origin\":%s,\"parent_span\":%d,\"handoff_tick\":%d}"
+             (str ctx.Trace_context.trace_origin) ctx.Trace_context.trace_root
+             (str ctx.Trace_context.parent_origin)
+             ctx.Trace_context.parent_span ctx.Trace_context.origin_tick));
+    (match visible_fields span with
+    | [] -> ()
+    | fields ->
+        Buffer.add_string buf ",\"fields\":{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf (str k);
+            Buffer.add_char buf ':';
+            Buffer.add_string buf (str v))
+          fields;
+        Buffer.add_char buf '}');
+    Buffer.add_string buf ",\"children\":[";
+    List.iteri
+      (fun i child ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit child)
+      node.node_children;
+    Buffer.add_string buf "]}"
+  in
+  Buffer.add_string buf "{\"traces\":[";
+  List.iteri
+    (fun i root ->
+      if i > 0 then Buffer.add_char buf ',';
+      emit root)
+    forest;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let to_dot forest =
+  let node_id node =
+    Dot.ident (node.node_provider ^ "_" ^ string_of_int node.node_span.Span.span_id)
+  in
+  let lines = ref [] in
+  let add line = lines := line :: !lines in
+  let rec go node =
+    let span = node.node_span in
+    add
+      (Dot.node (node_id node)
+         ~label:
+           (Printf.sprintf "%s: %s\n%s" node.node_provider span.Span.span_name
+              (span_times span))
+         ~attrs:
+           (if node.node_remote <> None then [ ("style", "dashed") ] else []));
+    List.iter
+      (fun child ->
+        go child;
+        let attrs =
+          match (child.node_remote, hop_marker child) with
+          | Some _, Some m ->
+              [ ("style", "dashed"); ("label", m) ]
+          | _ -> []
+        in
+        add (Dot.edge ~attrs (node_id node) (node_id child)))
+      node.node_children
+  in
+  List.iter go forest;
+  Dot.digraph ~rankdir:"TB" "w5_trace" (List.rev !lines)

@@ -15,10 +15,18 @@ type t
 val create : ?capacity:int -> ?enabled:bool -> unit -> t
 (** [capacity] (default 16) bounds the ring of {e completed} traces:
     the oldest trace is dropped when a new root finishes beyond the
-    cap. [enabled] defaults to [false]. *)
+    cap — an O(1) overwrite of the ring's oldest slot, so tracing at
+    capacity costs the same as tracing below it. [enabled] defaults to
+    [false]. *)
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
+
+val set_on_drop : t -> (int -> unit) -> unit
+(** Called with the number of roots evicted each time the ring drops a
+    completed trace — how the kernel mirrors eviction into the
+    [w5_trace_dropped_total] counter without this library depending on
+    {!Metrics} wiring. Default: ignore. *)
 
 val start_span :
   t -> tick:int -> ?fields:(string * string) list -> string -> unit
@@ -42,6 +50,22 @@ val with_span :
   (unit -> 'a) -> 'a
 (** [with_span t ~clock name f] brackets [f] in a span; the span is
     closed (at the clock's then-current tick) even if [f] raises. *)
+
+val context : t -> origin:string -> tick:int -> Trace_context.t option
+(** The {!Trace_context} an operation running right now would hand to
+    a peer: parented under the innermost open span, rooted at the
+    current trace (a root that is itself a remote continuation
+    forwards the {e original} trace identity, so multi-hop chains stay
+    one trace). [None] when disabled or no span is open. *)
+
+val with_remote_span :
+  t -> clock:(unit -> int) -> context:Trace_context.t ->
+  ?fields:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** The receiving side of a handoff: bracket [f] in a span that is a
+    {e root} on this tracer (any open local stack is set aside and
+    restored, even on raise) carrying [context] as {!Trace_context.to_fields}
+    fields — the breadcrumb {!Trace_merge} uses to reattach this
+    subtree under its cross-provider parent. *)
 
 val open_depth : t -> int
 (** How many spans are currently open (0 = between requests). *)

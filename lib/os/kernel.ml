@@ -17,6 +17,7 @@ and meters = {
   gate_invocations : Metrics.metric;
   audit_events : Metrics.metric;
   syscall_ticks : Metrics.metric;
+  trace_dropped : Metrics.metric;
 }
 
 and t = {
@@ -86,6 +87,9 @@ let make_meters m =
     syscall_ticks =
       Perf.latency m "w5_syscall_ticks"
         ~help:"Logical-clock ticks consumed per syscall dispatch";
+    trace_dropped =
+      Metrics.counter m "w5_trace_dropped_total"
+        ~help:"Completed traces evicted from the tracer ring";
   }
 
 (* Kernels are per-provider singletons; a monotone id lets global
@@ -96,24 +100,31 @@ let next_kernel_id = ref 0
 let create ?(enforcing = true) ?(audit_capacity = default_audit_capacity) () =
   let k_metrics = Metrics.create () in
   incr next_kernel_id;
-  {
-    k_id = !next_kernel_id;
-    k_fs = Fs.create ();
-    k_audit = Audit.create ~capacity:audit_capacity ();
-    procs = Hashtbl.create 64;
-    next_pid = 0;
-    pending = Queue.create ();
-    bodies = Hashtbl.create 64;
-    gates = Hashtbl.create 16;
-    k_tick = 0;
-    k_enforcing = enforcing;
-    k_principal = Principal.make Principal.Provider "kernel";
-    k_metrics;
-    k_tracer = Tracer.create ();
-    k_meters = make_meters k_metrics;
-    k_audit_depth = 0;
-    k_audit_buf = Queue.create ();
-  }
+  let k =
+    {
+      k_id = !next_kernel_id;
+      k_fs = Fs.create ();
+      k_audit = Audit.create ~capacity:audit_capacity ();
+      procs = Hashtbl.create 64;
+      next_pid = 0;
+      pending = Queue.create ();
+      bodies = Hashtbl.create 64;
+      gates = Hashtbl.create 16;
+      k_tick = 0;
+      k_enforcing = enforcing;
+      k_principal = Principal.make Principal.Provider "kernel";
+      k_metrics;
+      k_tracer = Tracer.create ();
+      k_meters = make_meters k_metrics;
+      k_audit_depth = 0;
+      k_audit_buf = Queue.create ();
+    }
+  in
+  (* ring evictions surface as a counter, not only in the traces
+     exposition footer *)
+  Tracer.set_on_drop k.k_tracer (fun n ->
+      Metrics.inc k.k_meters.trace_dropped ~by:n);
+  k
 
 let id k = k.k_id
 let enforcing k = k.k_enforcing

@@ -66,6 +66,11 @@ type meters = {
   syscall_ticks : W5_obs.Metrics.metric;
       (** [{op}] latency histogram on {!W5_obs.Perf.tick_buckets}:
           logical-clock ticks consumed per syscall dispatch *)
+  trace_dropped : W5_obs.Metrics.metric;
+      (** completed traces evicted from the tracer ring
+          ([w5_trace_dropped_total]), mirrored from
+          {!W5_obs.Tracer.set_on_drop} so ring pressure is visible in
+          the metrics exposition, not only in the traces footer *)
 }
 (** Pre-registered handles for the hot paths, so instrumentation does
     not pay a by-name lookup per syscall. *)

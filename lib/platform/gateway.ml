@@ -16,6 +16,20 @@ let invites_of platform =
       Hashtbl.replace invite_registries key registry;
       registry
 
+(* Per-platform SLO ledger, same keying discipline as the invite
+   registries: every handled request spends or banks error budget for
+   its route, and [w5 health] renders the ledger next to peer health. *)
+let slo_registries : (int, W5_obs.Health.Slo.t) Hashtbl.t = Hashtbl.create 8
+
+let slo_of platform =
+  let key = Principal.id (Platform.provider platform) in
+  match Hashtbl.find_opt slo_registries key with
+  | Some slo -> slo
+  | None ->
+      let slo = W5_obs.Health.Slo.create () in
+      Hashtbl.replace slo_registries key slo;
+      slo
+
 let viewer_of platform request =
   match Request.cookie request Session.cookie_name with
   | None -> None
@@ -547,4 +561,7 @@ let handler platform request =
        ~help:"Logical ticks consumed per request, by route")
     ~labels:[ ("route", route) ]
     (Kernel.tick kernel - t0);
+  W5_obs.Health.Slo.observe (slo_of platform) ~route
+    ~tick:(Kernel.tick kernel)
+    ~status:(Response.status_code response.Response.status);
   response

@@ -37,6 +37,12 @@ open W5_http
 val handler : Platform.t -> Request.t -> Response.t
 (** The perimeter-facing server; plug directly into {!Client.make}. *)
 
+val slo_of : Platform.t -> W5_obs.Health.Slo.t
+(** This platform's per-route SLO/error-budget ledger. {!handler}
+    feeds it on every request (route label and status code only —
+    the same closed vocabulary as the request counters); [w5 health]
+    renders it. Created on first use, default window/objective. *)
+
 val dispatch_app :
   Platform.t -> viewer:Account.t option -> app_id:string ->
   ?version:string -> Request.t -> Response.t

@@ -12,6 +12,7 @@ let () =
       ("platform", Test_platform.suite);
       ("rank", Test_rank.suite);
       ("federation", Test_federation.suite);
+      ("trace", Test_trace.suite);
       ("fault", Test_fault.suite);
       ("apps", Test_apps.suite);
       ("workload", Test_workload.suite);

@@ -11,20 +11,24 @@ test:
 	dune runtest
 
 # What CI runs (.github/workflows/ci.yml): the full build, the tier-1
-# test suite, smoke iterations of the provenance and federation-faults
-# bench groups, an `explain` pass over the scripted breach (the flight
-# recorder must always be able to narrate a denial), and the federated
-# trace / health goldens (byte-for-byte; `w5 health` must judge the
-# scripted faulty peer degraded, exit 2).
+# test suite, smoke iterations of the provenance, federation-faults,
+# trace-health and scheduler bench groups, an `explain` pass over the
+# scripted breach (the flight recorder must always be able to narrate
+# a denial), the federated trace / health goldens (byte-for-byte;
+# `w5 health` must judge the scripted faulty peer degraded, exit 2),
+# and the scripted soak summary golden (`w5 soak` byte-for-byte —
+# the seeded scheduler must be deterministic across processes).
 check: vet
 	dune build @all && dune runtest
 	dune exec bench/main.exe -- --only provenance --smoke
 	dune exec bench/main.exe -- --only federation-faults --smoke
 	dune exec bench/main.exe -- --only trace-health --smoke
+	dune exec bench/main.exe -- --only scheduler --smoke
 	dune exec bin/w5.exe -- explain > /dev/null
 	dune exec bin/w5.exe -- trace --federated | diff -u test/golden/trace_federated.txt -
 	dune exec bin/w5.exe -- health | diff -u test/golden/health.txt -
 	dune exec bin/w5.exe -- health > /dev/null; test $$? -eq 2
+	dune exec bin/w5.exe -- soak | diff -u test/golden/soak.txt -
 
 # Static label-flow analysis of the example platform, with the runtime
 # soundness pass; the JSON form must match the committed golden report

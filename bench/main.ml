@@ -490,6 +490,81 @@ let bench_syscall () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* scheduler: deterministic interleaving cost and throughput           *)
+(* ------------------------------------------------------------------ *)
+
+(* Each measured unit builds a fresh kernel holding [n] small
+   processes (one file create plus a few read/consume rounds each) and
+   drains it — whole-run cost including admission, seeded picks,
+   context switches and effect-continuation capture. [sequential]
+   drains the identical world through plain {!W5_os.Kernel.run}, so
+   the seeded/sequential ratio is the price of interleaving itself. *)
+let sched_world n =
+  let kernel = W5_os.Kernel.create () in
+  for i = 1 to n do
+    ignore
+      (W5_os.Kernel.spawn kernel
+         ~name:(Printf.sprintf "p%d" i)
+         ~owner:(Principal.make Principal.Developer "bench")
+         ~labels:Flow.bottom ~caps:Capability.Set.empty
+         ~limits:W5_os.Resource.default_app_limits
+         (fun ctx ->
+           let path = Printf.sprintf "/bench-%d" i in
+           ignore
+             (W5_os.Syscall.create_file ctx path ~labels:Flow.bottom ~data:"x");
+           for _ = 1 to 3 do
+             ignore (W5_os.Syscall.read_file ctx path);
+             ignore (W5_os.Syscall.consume ctx ~cpu:1)
+           done))
+  done;
+  kernel
+
+let bench_sched () =
+  let drain ~n ~quantum ~policy () =
+    ignore (W5_os.Sched.run ~quantum ~policy (sched_world n))
+  in
+  let seeded = W5_os.Sched.Seeded 42 in
+  Test.make_grouped ~name:"scheduler"
+    [
+      Test.make ~name:"drain-seeded-16"
+        (staged (drain ~n:16 ~quantum:4 ~policy:seeded));
+      Test.make ~name:"drain-seeded-64"
+        (staged (drain ~n:64 ~quantum:4 ~policy:seeded));
+      Test.make ~name:"drain-seeded-256"
+        (staged (drain ~n:256 ~quantum:4 ~policy:seeded));
+      Test.make ~name:"drain-fifo-64"
+        (staged (drain ~n:64 ~quantum:4 ~policy:W5_os.Sched.Fifo));
+      Test.make ~name:"drain-seeded-64-quantum1"
+        (staged (drain ~n:64 ~quantum:1 ~policy:seeded));
+      Test.make ~name:"sequential-64"
+        (staged (fun () -> W5_os.Kernel.run (sched_world 64)));
+    ]
+
+(* The tick-level shape: per-slice logical latency quantiles straight
+   from the w5_sched_slice_ticks histogram, at two concurrency levels —
+   "p95 dispatch ticks vs concurrency" without any wall clock. *)
+let report_sched_ticks () =
+  Printf.printf "\nscheduler slice ticks (logical, quantum=4, seeded):\n";
+  List.iter
+    (fun n ->
+      let kernel = sched_world n in
+      ignore (W5_os.Sched.run ~quantum:4 ~policy:(W5_os.Sched.Seeded 42) kernel);
+      match
+        List.assoc_opt "w5_sched_slice_ticks"
+          (W5_obs.Perf.summaries (W5_os.Kernel.metrics kernel))
+      with
+      | None -> Printf.printf "  %4d procs: (no histogram)\n" n
+      | Some s ->
+          let q = function
+            | None -> "?"
+            | Some e -> W5_obs.Perf.render_estimate e
+          in
+          Printf.printf "  %4d procs: %d slices, p50<=%s p95<=%s p99<=%s\n" n
+            s.W5_obs.Perf.q_count (q s.W5_obs.Perf.q_p50)
+            (q s.W5_obs.Perf.q_p95) (q s.W5_obs.Perf.q_p99))
+    [ 16; 256 ]
+
+(* ------------------------------------------------------------------ *)
 (* metrics-overhead: what instrumentation costs on the syscall path    *)
 (* ------------------------------------------------------------------ *)
 
@@ -744,6 +819,7 @@ let group_thunks =
     ("federation-faults", bench_federation_faults);
     ("portability", bench_portability);
     ("syscall", bench_syscall);
+    ("scheduler", bench_sched);
     ("metrics-overhead", bench_metrics);
     ("client-filter", bench_filter);
     ("provenance", bench_provenance);
@@ -913,7 +989,14 @@ let () =
   print_ratio "OBS tracing overhead (traced/metered tainting read)"
     "metrics-overhead/read-taint-traced"
     "metrics-overhead/read-taint-metered";
+  print_ratio "SCHED interleaved vs sequential drain (64 procs)"
+    "scheduler/drain-seeded-64" "scheduler/sequential-64";
+  print_ratio "SCHED quantum 1 vs 4 (64 procs, preemption pressure)"
+    "scheduler/drain-seeded-64-quantum1" "scheduler/drain-seeded-64";
+  print_ratio "SCHED drain scaling (256 vs 16 procs)"
+    "scheduler/drain-seeded-256" "scheduler/drain-seeded-16";
   if List.mem_assoc "query-index" selected then report_rows_scanned ();
+  if List.mem_assoc "scheduler" selected then report_sched_ticks ();
   (match json_dir with
   | None -> ()
   | Some dir ->

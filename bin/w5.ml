@@ -787,6 +787,61 @@ let perf_cmd =
              fresh run against them, record new baselines.")
     [ perf_report_cmd; perf_diff_cmd; perf_record_cmd; perf_schema_cmd ]
 
+(* ---- w5 soak: scripted heavy traffic through the scheduler ---- *)
+
+let soak seed users requests waves quantum rate =
+  let cfg =
+    {
+      W5_workload.Soak.default_config with
+      W5_workload.Soak.seed;
+      users;
+      requests;
+      waves;
+      quantum;
+      rate;
+    }
+  in
+  let _, summary = W5_workload.Soak.run cfg in
+  print_string (W5_workload.Soak.render summary);
+  `Ok ()
+
+let soak_cmd =
+  let requests =
+    Arg.(value & opt int 1200 & info [ "requests"; "n" ] ~docv:"N"
+           ~doc:"Requests to admit across the whole run.")
+  in
+  let users =
+    Arg.(value & opt int 50 & info [ "users" ] ~docv:"N"
+           ~doc:"Users in the synthetic society.")
+  in
+  let waves =
+    Arg.(value & opt int 1 & info [ "waves" ] ~docv:"N"
+           ~doc:"Admission waves the trace is split into (1 = everything \
+                 in flight at once).")
+  in
+  let quantum =
+    Arg.(value & opt int W5_os.Sched.default_quantum
+         & info [ "quantum" ] ~docv:"TICKS"
+             ~doc:"Scheduler ticks per slice.")
+  in
+  let rate =
+    Arg.(value & opt (some (pair ~sep:',' int int)) None
+         & info [ "rate" ] ~docv:"CAP,REFILL"
+             ~doc:"Token-bucket throttle per client (capacity, refill per \
+                   tick); absent = unthrottled.")
+  in
+  let term =
+    Term.(ret (const soak $ seed_arg $ users $ requests $ waves $ quantum
+               $ rate))
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Admit a whole seeded trace through the gateway, interleave \
+             every in-flight request with the deterministic scheduler, and \
+             print the soak summary (canary leaks, preemptions, digest). \
+             Same seed, same bytes.")
+    term
+
 (* ---- w5 experiments: the index ---- *)
 
 let experiments () =
@@ -816,7 +871,8 @@ let experiments () =
     \  E18 provider operations ............. test platform (admin, limits), bench durability\n\
     \  E19 data portability ................ test federation (migrate*, takeout), w5 export\n\
     \  E20 static vetting (\xc2\xa73.2) ........... test analysis, bench vet, w5 vet\n\
-    \  OBS federation telemetry (\xc2\xa73.5) ..... test trace, bench trace-health, w5 trace --federated, w5 health\n";
+    \  OBS federation telemetry (\xc2\xa73.5) ..... test trace, bench trace-health, w5 trace --federated, w5 health\n\
+    \  SCHED concurrent serving (\xc2\xa73.5) ...... test sched/soak, bench scheduler, w5 soak\n";
   `Ok ()
 
 let experiments_cmd =
@@ -831,6 +887,6 @@ let main_cmd =
   Cmd.group info
     [ serve_cmd; audit_cmd; explain_cmd; provenance_cmd; audit_report_cmd;
       rank_cmd; sync_cmd; trace_cmd; health_cmd; export_cmd; stats_cmd;
-      vet_cmd; perf_cmd; experiments_cmd ]
+      vet_cmd; perf_cmd; soak_cmd; experiments_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -41,6 +41,10 @@ and t = {
      capacity check per syscall instead of one per event. *)
   mutable k_audit_depth : int;
   k_audit_buf : (int * int * Audit.event) Queue.t;
+  (* Installed by the scheduler (Sched) for the duration of a drain:
+     called by the syscall layer at every dispatch entry so a running
+     process can be preempted at kernel-crossing boundaries. *)
+  mutable k_preempt : (Proc.t -> unit) option;
 }
 
 and ctx = {
@@ -118,6 +122,7 @@ let create ?(enforcing = true) ?(audit_capacity = default_audit_capacity) () =
       k_meters = make_meters k_metrics;
       k_audit_depth = 0;
       k_audit_buf = Queue.create ();
+      k_preempt = None;
     }
   in
   (* ring evictions surface as a counter, not only in the traces
@@ -188,6 +193,19 @@ let sync_cache_metrics k =
       Metrics.set capacity ~labels s.Memo.capacity)
     (Memo.snapshots ())
 
+let set_preempt_hook k hook = k.k_preempt <- hook
+
+(* Preemption points sit at syscall-dispatch entry, and only at audit
+   depth 0: a nested dispatch (a gate child's syscalls inside the
+   caller's open audit batch) must never suspend with the kernel-wide
+   batch buffer half-filled, or another process's events would land in
+   it. Depth-0 entries are exactly the boundaries where the kernel
+   holds no per-call state. *)
+let preempt_point k proc =
+  match k.k_preempt with
+  | Some hook when k.k_audit_depth = 0 -> hook proc
+  | Some _ | None -> ()
+
 let fresh_pid k =
   k.next_pid <- k.next_pid + 1;
   k.next_pid
@@ -228,32 +246,42 @@ let spawn k ?parent ~name ~owner ~labels ~caps ~limits body =
       record k ~pid:actor (Audit.Spawned { child = pid; name; labels });
       Ok proc
 
+(* Completion and failure bookkeeping, shared between the synchronous
+   [run_proc] below and the interleaved scheduler (Sched): both must
+   stamp the finish tick and convert quota kills / stray exceptions
+   into audited [Killed] states. *)
+let finish_proc k proc =
+  proc.Proc.state <- Proc.Exited;
+  proc.Proc.finished_tick <- Some k.k_tick
+
+let fail_proc k proc exn =
+  (match exn with
+  | Quota_kill kind ->
+      Proc.kill proc ~reason:("quota: " ^ Resource.kind_to_string kind);
+      Metrics.inc k.k_meters.quota_kills
+        ~labels:[ ("kind", Resource.kind_to_string kind) ];
+      record k ~pid:proc.Proc.pid (Audit.Quota_hit kind);
+      record k ~pid:proc.Proc.pid
+        (Audit.Killed { reason = "quota: " ^ Resource.kind_to_string kind })
+  | exn ->
+      let reason = "uncaught: " ^ Printexc.to_string exn in
+      Proc.kill proc ~reason;
+      record k ~pid:proc.Proc.pid (Audit.Killed { reason }));
+  proc.Proc.finished_tick <- Some k.k_tick
+
 let run_proc k proc =
   match proc.Proc.state with
   | Proc.Running | Proc.Exited | Proc.Killed _ -> ()
   | Proc.Runnable -> (
       match Hashtbl.find_opt k.bodies proc.Proc.pid with
-      | None -> proc.Proc.state <- Proc.Exited
+      | None -> finish_proc k proc
       | Some body -> (
           proc.Proc.state <- Proc.Running;
           advance_clock k;
           try
             body { kernel = k; proc };
-            proc.Proc.state <- Proc.Exited
-          with
-          | Quota_kill kind ->
-              Proc.kill proc
-                ~reason:("quota: " ^ Resource.kind_to_string kind);
-              Metrics.inc k.k_meters.quota_kills
-                ~labels:[ ("kind", Resource.kind_to_string kind) ];
-              record k ~pid:proc.Proc.pid (Audit.Quota_hit kind);
-              record k ~pid:proc.Proc.pid
-                (Audit.Killed
-                   { reason = "quota: " ^ Resource.kind_to_string kind })
-          | exn ->
-              let reason = "uncaught: " ^ Printexc.to_string exn in
-              Proc.kill proc ~reason;
-              record k ~pid:proc.Proc.pid (Audit.Killed { reason })))
+            finish_proc k proc
+          with exn -> fail_proc k proc exn))
 
 let run k =
   let rec drain () =
@@ -264,6 +292,12 @@ let run k =
         drain ()
   in
   drain ()
+
+(* Admission interface for the interleaved scheduler: pull spawned
+   processes off the kernel run queue without executing them. *)
+let take_pending k = Queue.take_opt k.pending
+
+let pending_count k = Queue.length k.pending
 
 let find_proc k pid = Hashtbl.find_opt k.procs pid
 
@@ -292,6 +326,8 @@ let reap k =
   Queue.clear k.pending;
   Queue.transfer live k.pending;
   List.length dead
+
+let process_count k = Hashtbl.length k.procs
 
 let live_process_count k =
   Hashtbl.fold (fun _ p acc -> if Proc.is_alive p then acc + 1 else acc) k.procs 0

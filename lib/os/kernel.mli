@@ -110,6 +110,44 @@ val run : t -> unit
 (** Drain the run queue, executing queued processes in FIFO order
     (processes spawned during the drain are executed too). *)
 
+(** {1 Scheduler interface}
+
+    The interleaved scheduler ({!module:Sched}) lives above the kernel:
+    the kernel only exposes the hooks it needs — admission from the run
+    queue, a preemption callback fired by the syscall layer, and the
+    shared completion/failure bookkeeping. *)
+
+val take_pending : t -> (Proc.t * body) option
+(** Pull the next spawned-but-not-yet-run process (and its body) off
+    the kernel run queue without executing it. Used by the scheduler
+    for admission; mutually exclusive with {!run} over the same
+    processes. *)
+
+val pending_count : t -> int
+(** Processes spawned but not yet admitted or run. *)
+
+val set_preempt_hook : t -> (Proc.t -> unit) option -> unit
+(** Install (or clear) the scheduler's preemption callback. While set,
+    the syscall layer calls it at every dispatch entry via
+    {!preempt_point}; the callback may suspend the calling process by
+    performing an effect it handles. Only one scheduler drain may be
+    active per kernel. *)
+
+val preempt_point : t -> Proc.t -> unit
+(** Fire the preemption hook, if installed — but only at audit depth 0,
+    so an audit batch can never be suspended half-filled and have
+    another process's events interleaved into it. The syscall layer
+    calls this at dispatch entry; it is a no-op without a hook. *)
+
+val finish_proc : t -> Proc.t -> unit
+(** Mark a process [Exited] and stamp {!Proc.t.finished_tick}. *)
+
+val fail_proc : t -> Proc.t -> exn -> unit
+(** Convert a process-body exception into an audited kill:
+    {!Quota_kill} becomes a quota kill (metric + [Quota_hit] +
+    [Killed] records), anything else an [uncaught: ...] kill. Stamps
+    the finish tick. Shared by {!run_proc} and the scheduler. *)
+
 val find_proc : t -> int -> Proc.t option
 val processes : t -> Proc.t list
 
@@ -120,6 +158,10 @@ val reap : t -> int
     automatically once the table exceeds a watermark. *)
 
 val live_process_count : t -> int
+
+val process_count : t -> int
+(** Table size including dead-but-unreaped processes — the reap
+    watermark reads this instead of materializing {!processes}. *)
 
 val register_gate :
   t -> name:string -> owner:Principal.t -> caps:Capability.Set.t ->

@@ -24,6 +24,7 @@ type t = {
   limits : Resource.limits;
   mutable state : state;
   mutable response : (string * Flow.labels) option;
+  mutable finished_tick : int option;
 }
 
 let make ~pid ~name ~owner ~labels ~caps ~limits =
@@ -38,6 +39,7 @@ let make ~pid ~name ~owner ~labels ~caps ~limits =
     limits;
     state = Runnable;
     response = None;
+    finished_tick = None;
   }
 
 let is_alive p =

@@ -36,6 +36,12 @@ type t = {
   mutable response : (string * Flow.labels) option;
       (** What the process answered to the request that spawned it,
           together with the labels it carried at [respond] time. *)
+  mutable finished_tick : int option;
+      (** The kernel tick at which the process reached [Exited] or
+          [Killed] — set by the kernel, so request latency can be
+          measured from admission to completion even when the caller
+          only looks at the process long after the scheduler moved
+          on. *)
 }
 
 val make :

@@ -35,6 +35,10 @@ let enter ctx op =
    (gate invocations, tainting reads) observe every tick they drove. *)
 let dispatch ctx op f =
   let kernel = ctx.Kernel.kernel in
+  (* Dispatch entry is the kernel-crossing boundary: the only point
+     where a scheduler may preempt the running process. Fired before
+     the audit batch opens so a suspension never splits a batch. *)
+  Kernel.preempt_point kernel ctx.Kernel.proc;
   let clock () = Kernel.tick kernel in
   let timed () =
     (* Batch the syscall's audit appends: a call that passes its checks
@@ -626,6 +630,7 @@ let respond ctx data =
   Ok ()
 
 let consume ctx ~cpu =
+  Kernel.preempt_point ctx.Kernel.kernel ctx.Kernel.proc;
   charge ctx Resource.Cpu cpu;
   Kernel.advance_clock ctx.Kernel.kernel;
   Metrics.inc (Kernel.meters ctx.Kernel.kernel).Kernel.syscalls

@@ -84,7 +84,12 @@ let rec make_env platform ~viewer ~request ~self_id =
     run_module;
   }
 
-let dispatch_app platform ~viewer ~app_id ?version request =
+(* Admission half of an application dispatch: resolve, vet, spawn —
+   everything up to (but not including) running the body. [Error r]
+   short-circuits with a finished response; [Ok proc] is a spawned
+   process the caller must drive (synchronously via {!Kernel.run_proc}
+   or interleaved via {!W5_os.Sched}). *)
+let spawn_app platform ~viewer ~app_id ?version request =
   let registry = Platform.registry platform in
   let version =
     match version with
@@ -94,7 +99,7 @@ let dispatch_app platform ~viewer ~app_id ?version request =
             Policy.pinned_version a.Account.policy ~app:app_id)
   in
   match App_registry.resolve registry ~id:app_id ?version () with
-  | None -> Response.not_found app_id
+  | None -> Error (Response.not_found app_id)
   | Some (_, v)
     when (match viewer with
          | Some (a : Account.t) -> Policy.require_vetted a.Account.policy
@@ -105,8 +110,9 @@ let dispatch_app platform ~viewer ~app_id ?version request =
                  (app_id :: v.App_registry.imports)) ->
       (* Integrity protection (§3.1): this user runs only applications
          whose every component is on the vetted list. *)
-      Response.forbidden
-        (app_id ^ ": not fully vetted (integrity protection is on)")
+      Error
+        (Response.forbidden
+           (app_id ^ ": not fully vetted (integrity protection is on)"))
   | Some (app, v) -> (
       Platform.count_request platform;
       let caps =
@@ -126,37 +132,45 @@ let dispatch_app platform ~viewer ~app_id ?version request =
           ~limits:(Platform.app_limits platform ~app:app_id)
           body
       with
-      | Error e -> Response.server_error (Os_error.to_string e)
-      | Ok proc -> (
-          Kernel.run_proc kernel proc;
-          (* keep the long-running provider's process table lean *)
-          if List.length (Kernel.processes kernel) > 512 then
-            ignore (Kernel.reap kernel);
-          match (proc.Proc.state, proc.Proc.response) with
-          | Proc.Killed reason, _ ->
-              if String.length reason >= 5 && String.sub reason 0 5 = "quota"
-              then Response.too_many_requests ("application killed: " ^ reason)
-              else
-                (* Data-free error: the developer reads /audit instead
-                   of a core dump (§3.5). *)
-                Response.server_error "application error (see /audit)"
-          | _, None -> Response.server_error "application sent no response"
-          | _, Some (data, labels) -> (
-              match
-                Perimeter.export platform ~source:proc.Proc.pid ~viewer ~data
-                  ~labels ()
-              with
-              | Error refusal ->
-                  Response.forbidden (Perimeter.refusal_to_string refusal)
-              | Ok out ->
-                  let allow_js =
-                    match viewer with
-                    | Some (a : Account.t) ->
-                        Policy.allow_javascript a.Account.policy
-                    | None -> false
-                  in
-                  let out = if allow_js then out else Html.strip_scripts out in
-                  Response.html out)))
+      | Error e -> Error (Response.server_error (Os_error.to_string e))
+      | Ok proc -> Ok proc)
+
+(* Conclusion half: the process has finished (or been killed); read
+   its state and response and push the answer through the perimeter. *)
+let conclude_app platform ~viewer proc =
+  let kernel = Platform.kernel platform in
+  (* keep the long-running provider's process table lean *)
+  if Kernel.process_count kernel > 512 then ignore (Kernel.reap kernel);
+  match (proc.Proc.state, proc.Proc.response) with
+  | Proc.Killed reason, _ ->
+      if String.length reason >= 5 && String.sub reason 0 5 = "quota" then
+        Response.too_many_requests ("application killed: " ^ reason)
+      else
+        (* Data-free error: the developer reads /audit instead
+           of a core dump (§3.5). *)
+        Response.server_error "application error (see /audit)"
+  | _, None -> Response.server_error "application sent no response"
+  | _, Some (data, labels) -> (
+      match
+        Perimeter.export platform ~source:proc.Proc.pid ~viewer ~data ~labels
+          ()
+      with
+      | Error refusal -> Response.forbidden (Perimeter.refusal_to_string refusal)
+      | Ok out ->
+          let allow_js =
+            match viewer with
+            | Some (a : Account.t) -> Policy.allow_javascript a.Account.policy
+            | None -> false
+          in
+          let out = if allow_js then out else Html.strip_scripts out in
+          Response.html out)
+
+let dispatch_app platform ~viewer ~app_id ?version request =
+  match spawn_app platform ~viewer ~app_id ?version request with
+  | Error response -> response
+  | Ok proc ->
+      Kernel.run_proc (Platform.kernel platform) proc;
+      conclude_app platform ~viewer proc
 
 (* ---- provider-written front-end pages ---- *)
 
@@ -453,62 +467,63 @@ let throttled platform ~viewer request =
         (Rate_limit.allow limiter ~key
            ~now:(Kernel.tick (Platform.kernel platform)))
 
+(* Routing resolves either to a provider front-end page (handled
+   inline — these are trusted, cheap, and never spawn a process) or to
+   an application dispatch, which the caller runs synchronously
+   ({!handler}) or schedules ({!submit}/{!conclude}). Throttling and
+   the enablement check happen here, so both paths share them. *)
+type routed =
+  | Page of Response.t
+  | Dispatch of { app_id : string; version : string option }
+
+let not_enabled_page app_id =
+  (* One-click adoption: show the invitation instead of silently
+     running code the user never chose. *)
+  Response.html
+    (Html.page ~title:"enable?"
+       (Printf.sprintf
+          "app %s is not enabled for you; POST /enable?app=%s to accept \
+           the invitation"
+          (Html.escape app_id) (Html.escape app_id)))
+
+let route_to_app platform request ~viewer ~app_id =
+  if throttled platform ~viewer request then
+    Page (Response.too_many_requests "rate limit exceeded")
+  else
+    match viewer with
+    | Some account when not (Policy.app_enabled account.Account.policy app_id)
+      ->
+        Page (not_enabled_page app_id)
+    | Some _ | None ->
+        Dispatch { app_id; version = Request.param request "version" }
+
 let route_request platform request ~viewer ~dns_route =
   match dns_route with
-  | Some _ when throttled platform ~viewer request ->
-      Response.too_many_requests "rate limit exceeded"
-  | Some app_id ->
-      (match viewer with
-      | Some account
-        when not (Policy.app_enabled account.Account.policy app_id) ->
-          Response.html
-            (Html.page ~title:"enable?"
-               (Printf.sprintf
-                  "app %s is not enabled for you; POST /enable?app=%s to \
-                   accept the invitation"
-                  (Html.escape app_id) (Html.escape app_id)))
-      | Some _ | None ->
-          dispatch_app platform ~viewer ~app_id
-            ?version:(Request.param request "version")
-            request)
-  | None ->
-  match request.Request.uri.Uri.segments with
-  | [] -> home platform
-  | [ "signup" ] -> handle_signup platform request
-  | [ "login" ] -> handle_login platform request
-  | [ "logout" ] -> handle_logout platform request
-  | [ "enable" ] -> handle_enable platform request
-  | [ "invite" ] -> handle_invite platform request
-  | [ "invites" ] -> handle_invites_list platform request
-  | [ "invite_accept" ] -> handle_invite_answer platform request ~accept:true
-  | [ "invite_decline" ] -> handle_invite_answer platform request ~accept:false
-  | [ "settings" ] -> handle_settings platform request
-  | [ "me" ] -> handle_me platform request
-  | [ "group_create" ] -> handle_group_create platform request
-  | [ "group_add" ] -> handle_group_member platform request ~add:true
-  | [ "group_remove" ] -> handle_group_member platform request ~add:false
-  | [ "source" ] -> handle_source platform request
-  | [ "audit" ] -> handle_audit platform request
-  | "app" :: dev :: name :: _rest ->
-      let app_id = dev ^ "/" ^ name in
-      if throttled platform ~viewer request then
-        Response.too_many_requests "rate limit exceeded"
-      else (match viewer with
-      | Some account
-        when not (Policy.app_enabled account.Account.policy app_id) ->
-          (* One-click adoption: show the invitation instead of
-             silently running code the user never chose. *)
-          Response.html
-            (Html.page ~title:"enable?"
-               (Printf.sprintf
-                  "app %s is not enabled for you; POST /enable?app=%s to \
-                   accept the invitation"
-                  (Html.escape app_id) (Html.escape app_id)))
-      | Some _ | None ->
-          dispatch_app platform ~viewer ~app_id
-            ?version:(Request.param request "version")
-            request)
-  | _ -> Response.not_found request.Request.uri.Uri.path
+  | Some app_id -> route_to_app platform request ~viewer ~app_id
+  | None -> (
+      match request.Request.uri.Uri.segments with
+      | [] -> Page (home platform)
+      | [ "signup" ] -> Page (handle_signup platform request)
+      | [ "login" ] -> Page (handle_login platform request)
+      | [ "logout" ] -> Page (handle_logout platform request)
+      | [ "enable" ] -> Page (handle_enable platform request)
+      | [ "invite" ] -> Page (handle_invite platform request)
+      | [ "invites" ] -> Page (handle_invites_list platform request)
+      | [ "invite_accept" ] ->
+          Page (handle_invite_answer platform request ~accept:true)
+      | [ "invite_decline" ] ->
+          Page (handle_invite_answer platform request ~accept:false)
+      | [ "settings" ] -> Page (handle_settings platform request)
+      | [ "me" ] -> Page (handle_me platform request)
+      | [ "group_create" ] -> Page (handle_group_create platform request)
+      | [ "group_add" ] -> Page (handle_group_member platform request ~add:true)
+      | [ "group_remove" ] ->
+          Page (handle_group_member platform request ~add:false)
+      | [ "source" ] -> Page (handle_source platform request)
+      | [ "audit" ] -> Page (handle_audit platform request)
+      | "app" :: dev :: name :: _rest ->
+          route_to_app platform request ~viewer ~app_id:(dev ^ "/" ^ name)
+      | _ -> Page (Response.not_found request.Request.uri.Uri.path))
 
 (* The telemetry route label: the application id or the front-end page
    name — a closed set bounded by the registry, never a raw path (raw
@@ -523,35 +538,24 @@ let route_label request ~dns_route =
       | "app" :: dev :: name :: _ -> "app:" ^ dev ^ "/" ^ name
       | segment :: _ -> segment)
 
-let handler platform request =
-  let kernel = Platform.kernel platform in
-  let metrics = W5_os.Kernel.metrics kernel in
-  let tracer = W5_os.Kernel.tracer kernel in
-  let viewer = viewer_of platform request in
-  (* Virtual hosts: a Host header naming a registered vanity host
-     routes straight to its application, whatever the path. *)
-  let dns_route =
-    match (Platform.dns platform, Headers.get request.Request.headers "host")
-    with
-    | Some dns, Some host -> (
-        match Dns.resolve dns ~host with
-        | Some (Dns.App app_id) -> Some app_id
-        | Some Dns.Front_end | Some (Dns.Cname _) | None -> None)
-    | _ -> None
-  in
-  let route = route_label request ~dns_route in
-  let t0 = Kernel.tick kernel in
-  W5_obs.Tracer.start_span tracer ~tick:t0 ("gateway:" ^ route);
-  let response =
-    match route_request platform request ~viewer ~dns_route with
-    | response -> response
-    | exception exn ->
-        W5_obs.Tracer.end_span tracer ~tick:(Kernel.tick kernel);
-        raise exn
-  in
+(* Virtual hosts: a Host header naming a registered vanity host routes
+   straight to its application, whatever the path. *)
+let dns_route_of platform request =
+  match (Platform.dns platform, Headers.get request.Request.headers "host")
+  with
+  | Some dns, Some host -> (
+      match Dns.resolve dns ~host with
+      | Some (Dns.App app_id) -> Some app_id
+      | Some Dns.Front_end | Some (Dns.Cname _) | None -> None)
+  | _ -> None
+
+(* Request telemetry, shared by the synchronous handler and the
+   scheduled conclude path: counter, latency histogram, SLO ledger.
+   Route labels are a closed set (see [route_label]); [t0]/[t1] bound
+   the request on the logical clock. *)
+let record_request platform ~route ~t0 ~t1 response =
+  let metrics = W5_os.Kernel.metrics (Platform.kernel platform) in
   let status = string_of_int (Response.status_code response.Response.status) in
-  W5_obs.Tracer.annotate tracer [ ("status", status) ];
-  W5_obs.Tracer.end_span tracer ~tick:(Kernel.tick kernel);
   W5_obs.Metrics.inc
     (W5_obs.Metrics.counter metrics "w5_gateway_requests_total"
        ~help:"HTTP requests by route and status")
@@ -560,8 +564,97 @@ let handler platform request =
     (W5_obs.Perf.latency metrics "w5_gateway_request_ticks"
        ~help:"Logical ticks consumed per request, by route")
     ~labels:[ ("route", route) ]
-    (Kernel.tick kernel - t0);
-  W5_obs.Health.Slo.observe (slo_of platform) ~route
-    ~tick:(Kernel.tick kernel)
-    ~status:(Response.status_code response.Response.status);
+    (t1 - t0);
+  W5_obs.Health.Slo.observe (slo_of platform) ~route ~tick:t1
+    ~status:(Response.status_code response.Response.status)
+
+let handler platform request =
+  let kernel = Platform.kernel platform in
+  let tracer = W5_os.Kernel.tracer kernel in
+  let viewer = viewer_of platform request in
+  let dns_route = dns_route_of platform request in
+  let route = route_label request ~dns_route in
+  let t0 = Kernel.tick kernel in
+  W5_obs.Tracer.start_span tracer ~tick:t0 ("gateway:" ^ route);
+  let response =
+    match
+      (match route_request platform request ~viewer ~dns_route with
+      | Page r -> r
+      | Dispatch { app_id; version } ->
+          dispatch_app platform ~viewer ~app_id ?version request)
+    with
+    | response -> response
+    | exception exn ->
+        W5_obs.Tracer.end_span tracer ~tick:(Kernel.tick kernel);
+        raise exn
+  in
+  let status = string_of_int (Response.status_code response.Response.status) in
+  W5_obs.Tracer.annotate tracer [ ("status", status) ];
+  W5_obs.Tracer.end_span tracer ~tick:(Kernel.tick kernel);
+  record_request platform ~route ~t0 ~t1:(Kernel.tick kernel) response;
+  response
+
+(* ---- scheduled admission: submit now, conclude after a drain ---- *)
+
+type pending = {
+  p_route : string;
+  p_viewer : Account.t option;
+  p_submit_tick : int;
+  p_state : pending_state;
+}
+
+and pending_state =
+  | Done of Response.t * int  (** finished at submit time, at this tick *)
+  | In_flight of Proc.t
+
+let submit platform request =
+  let kernel = Platform.kernel platform in
+  let viewer = viewer_of platform request in
+  let dns_route = dns_route_of platform request in
+  let route = route_label request ~dns_route in
+  let t0 = Kernel.tick kernel in
+  let state =
+    match route_request platform request ~viewer ~dns_route with
+    | Page r -> Done (r, Kernel.tick kernel)
+    | Dispatch { app_id; version } -> (
+        match spawn_app platform ~viewer ~app_id ?version request with
+        | Error r -> Done (r, Kernel.tick kernel)
+        | Ok proc -> In_flight proc)
+  in
+  { p_route = route; p_viewer = viewer; p_submit_tick = t0; p_state = state }
+
+let in_flight pending =
+  match pending.p_state with
+  | In_flight proc -> Proc.is_alive proc
+  | Done _ -> false
+
+let conclude platform pending =
+  let kernel = Platform.kernel platform in
+  let tracer = W5_os.Kernel.tracer kernel in
+  let response, t1 =
+    match pending.p_state with
+    | Done (r, t) -> (r, t)
+    | In_flight proc ->
+        (* normally the scheduler already drove it to completion; a
+           conclude without a drain degrades to the synchronous path *)
+        Kernel.run_proc kernel proc;
+        let t1 =
+          match proc.Proc.finished_tick with
+          | Some t -> t
+          | None -> Kernel.tick kernel
+        in
+        (conclude_app platform ~viewer:pending.p_viewer proc, t1)
+  in
+  (* One balanced span per request, emitted at conclusion with the
+     submit→finish bounds: slices interleave, spans must not. *)
+  if W5_obs.Tracer.enabled tracer then begin
+    W5_obs.Tracer.start_span tracer ~tick:pending.p_submit_tick
+      ~fields:
+        [ ("status",
+           string_of_int (Response.status_code response.Response.status)) ]
+      ("gateway:" ^ pending.p_route);
+    W5_obs.Tracer.end_span tracer ~tick:t1
+  end;
+  record_request platform ~route:pending.p_route ~t0:pending.p_submit_tick ~t1
+    response;
   response

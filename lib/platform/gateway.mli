@@ -48,3 +48,30 @@ val dispatch_app :
   ?version:string -> Request.t -> Response.t
 (** The app-execution path by itself, for tests and the silo-baseline
     comparison. *)
+
+(** {1 Scheduled admission}
+
+    The concurrent-traffic face of the gateway: {!submit} performs
+    admission — authentication, routing, throttling, vetting, process
+    spawn — without running the application, so thousands of requests
+    can be in flight before a {!W5_os.Sched} drain interleaves them;
+    {!conclude} then reads each process's outcome and pushes it
+    through the perimeter exactly as {!handler} would have. Provider
+    front-end pages (trusted, cheap, no process) complete at submit
+    time. Request metrics, latency (admission tick to the process's
+    finish tick), SLO spend, and one balanced trace span per request
+    are all recorded at conclusion. *)
+
+type pending
+(** An admitted request awaiting its outcome. *)
+
+val submit : Platform.t -> Request.t -> pending
+
+val in_flight : pending -> bool
+(** Still waiting on a live process (false once concluded-at-submit,
+    exited, or killed). *)
+
+val conclude : Platform.t -> pending -> Response.t
+(** Resolve the request. If its process somehow has not run yet (no
+    drain happened), it is run synchronously first, so
+    [submit |> conclude] without a scheduler equals {!handler}. *)

@@ -1,0 +1,103 @@
+(** The gateway soak harness: sustained concurrent load, asserted.
+
+    A {!run} builds a seeded society, plants a canary in every user's
+    profile, logs everyone in, and then drives a seeded action trace
+    through the gateway's scheduled-admission path
+    ({!W5_platform.Gateway.submit}): every request of a wave is
+    admitted — authenticated, routed, throttled, spawned — before a
+    {!W5_os.Sched} drain interleaves all the in-flight application
+    processes, after which every request is concluded through the
+    perimeter. The result is the paper's premise made testable: many
+    untrusted apps serving many users {e simultaneously}, with DIFC
+    enforcement exercised under interleaving rather than one request
+    at a time.
+
+    Everything is deterministic — society, trace, interleaving, ticks —
+    so the rendered summary is goldenable and two runs with the same
+    seed produce byte-identical audit logs and store state. *)
+
+open W5_platform
+
+type config = {
+  seed : int;
+  users : int;
+  requests : int;
+  waves : int;  (** the trace is split into this many admission waves *)
+  mix : Trace.mix;
+  quantum : int;  (** scheduler ticks per slice *)
+  rate : (int * int) option;
+      (** token-bucket throttling as [(capacity, refill_per_tick)];
+          [None] leaves the provider unthrottled *)
+}
+
+val default_config : config
+(** seed 42, 50 users, 1200 requests in a single wave (≥ 1000 in
+    flight at once), read-heavy mix, default quantum, no rate limit. *)
+
+type summary = {
+  s_seed : int;
+  s_users : int;
+  s_requests : int;
+  s_waves : int;
+  s_quantum : int;
+  s_submitted : int;
+  s_ok : int;  (** HTTP 200/302 *)
+  s_forbidden : int;  (** HTTP 403: flows correctly refused *)
+  s_throttled : int;  (** HTTP 429 *)
+  s_failed : int;  (** anything else *)
+  s_peak_in_flight : int;
+      (** most requests simultaneously awaiting their process *)
+  s_slices : int;
+  s_preemptions : int;
+  s_completed : int;
+  s_killed : int;
+  s_max_runq : int;
+  s_canary_leaks : int;
+      (** responses carrying a canary of a user who never befriended
+          the viewer — must be 0 *)
+  s_unlabeled_canaries : int;
+      (** bottom-labeled files containing any canary — must be 0 *)
+  s_audit_entries : int;
+  s_final_tick : int;
+  s_digest : string;  (** {!fingerprint_digest} of the final state *)
+}
+
+val run :
+  ?between_waves:(int -> Populate.society -> unit) ->
+  config -> Populate.society * summary
+(** Execute the soak. [between_waves] runs after each wave concludes
+    (fault injection, mid-run kills, probes); the society is returned
+    so callers can keep interrogating the platform. *)
+
+val render : summary -> string
+(** Deterministic multi-line text for goldens ([w5 soak]). *)
+
+(** {1 Determinism and leak probes} *)
+
+val canary : string -> string
+(** ["CANARY-<user>-END"] — the marker {!run} plants in each profile. *)
+
+val canary_owners : string -> string list
+(** Owners of every canary marker occurring in a body, one linear
+    scan. *)
+
+val unlabeled_canary_paths : Platform.t -> needles:string list -> string list
+(** Paths of bottom-secrecy files whose bytes contain any needle —
+    the "no unlabeled copy anywhere" sweep, shared with test_soak. *)
+
+val store_image : Platform.t -> string
+(** Every store file with its labels and bytes (tag ids renumbered,
+    same normalization as {!fingerprint}) — no audit entries and no
+    ticks, so it compares final {e state} across runs whose schedules
+    legitimately differ (interleaved vs. sequential). *)
+
+val fingerprint : Platform.t -> string
+(** The full observable state: every audit entry, then every store
+    file with its labels and bytes — with all [#N] tokens (tag ids,
+    audit sequence numbers) renumbered by first occurrence, so two
+    same-seed runs compare byte-equal even inside one process, where
+    the global tag counter would otherwise offset the ids. *)
+
+val fingerprint_digest : Platform.t -> string
+(** MD5 hex of {!fingerprint} — the summary-sized determinism
+    witness. *)

@@ -3,6 +3,7 @@ let () =
     [
       ("difc", Test_difc.suite);
       ("os", Test_os.suite);
+      ("sched", Test_sched.suite);
       ("obs", Test_obs.suite);
       ("baseline", Test_baseline.suite);
       ("provenance", Test_provenance.suite);

@@ -434,3 +434,146 @@ let prop_group_wall_safe =
         (Client.last_bodies mallory))
 
 let suite = suite @ [ QCheck_alcotest.to_alcotest prop_group_wall_safe ]
+
+(* ---- arena 5: noninterference under interleaving ----
+
+   Alice (high) and mallory (low) drive concurrent request streams
+   through the gateway's scheduled-admission path: every request is
+   admitted before any application code runs, then a seeded scheduler
+   interleaves all the in-flight processes at syscall granularity.
+   Whatever the interleaving, mallory's entire observed byte stream
+   must be independent of alice's differently-labeled data: the same
+   adversary program run against two different secrets — and against
+   two different scheduler seeds — must hand mallory byte-identical
+   responses (tag ids modulo renaming: the process-global tag counter
+   offsets between in-process runs). *)
+
+(* erase the numeric part of every [#N] token: tag ids differ across
+   in-process runs only by a uniform counter offset *)
+let strip_tag_ids text =
+  let buf = Buffer.create (String.length text) in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    (if text.[!i] = '#' then begin
+       Buffer.add_char buf '#';
+       incr i;
+       while !i < n && text.[!i] >= '0' && text.[!i] <= '9' do
+         incr i
+       done
+     end
+     else begin
+       Buffer.add_char buf text.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents buf
+
+(* alice's fixed, read-only stream: look at her own profile. It never
+   mutates shared state, so the only way it could reach mallory's
+   stream is a label-check leak. *)
+let benign_self_handler ctx (_ : App_registry.env) =
+  let open W5_os in
+  match Syscall.read_file_taint ctx "/users/alice/profile" with
+  | Ok data -> ignore (Syscall.respond ctx data)
+  | Error _ -> ignore (Syscall.respond ctx "no-profile")
+
+(* Run both streams concurrently; returns (mallory's concatenated
+   normalized stream, alice's concatenated stream). *)
+let interleaved_run ~seed ~secret program =
+  let platform = Platform.create () in
+  let alice =
+    match Platform.signup platform ~user:"alice" ~password:"pw" with
+    | Ok a -> a
+    | Error e -> failwith e
+  in
+  ignore
+    (Platform.write_user_record platform alice ~file:"profile"
+       (W5_store.Record.of_fields [ ("ssn", secret) ]));
+  ignore (Platform.signup platform ~user:"mallory" ~password:"pw");
+  let dev = Principal.make Principal.Developer "adv" in
+  let publish name handler =
+    match
+      App_registry.publish (Platform.registry platform) ~dev ~name
+        ~version:"1.0" handler
+    with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  publish "adv" (adversary_handler program "alice");
+  publish "self" benign_self_handler;
+  (match Platform.enable_app platform ~user:"mallory" ~app:"adv/adv" with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  (match Platform.enable_app platform ~user:"alice" ~app:"adv/self" with
+  | Ok () -> ()
+  | Error e -> failwith e);
+  let login user =
+    let client = Client.make ~name:user (Gateway.handler platform) in
+    ignore (Client.post client "/login" ~form:[ ("user", user); ("pass", "pw") ]);
+    match Client.cookies client with
+    | [] -> Headers.empty
+    | jar ->
+        Headers.set Headers.empty "Cookie"
+          (String.concat "; " (List.map (fun (k, v) -> k ^ "=" ^ v) jar))
+  in
+  let alice_jar = login "alice" and mallory_jar = login "mallory" in
+  (* admit both streams in full, interleave, then conclude in
+     admission order *)
+  let pendings =
+    List.concat_map
+      (fun _ ->
+        [
+          ( "alice",
+            Gateway.submit platform
+              (Request.make ~headers:alice_jar ~client:"alice" Request.GET
+                 "/app/adv/self") );
+          ( "mallory",
+            Gateway.submit platform
+              (Request.make ~headers:mallory_jar ~client:"mallory" Request.GET
+                 "/app/adv/adv") );
+        ])
+      [ 1; 2; 3 ]
+  in
+  W5_os.Sched.drain
+    (W5_os.Sched.create ~quantum:2 ~policy:(W5_os.Sched.Seeded seed)
+       (Platform.kernel platform));
+  let stream_of who =
+    String.concat "\n--\n"
+      (List.filter_map
+         (fun (viewer, pending) ->
+           if viewer = who then
+             Some (Gateway.conclude platform pending).Response.body
+           else None)
+         pendings)
+  in
+  (* conclusion order is the admission order either way; concluding
+     alice's first is harmless because all processes already ran *)
+  (strip_tag_ids (stream_of "mallory"), stream_of "alice")
+
+let arb_interleaved_case =
+  QCheck.make
+    ~print:(fun (ops, seed) ->
+      Printf.sprintf "seed=%d prog=%s" seed
+        (String.concat ";" (List.map op_name ops)))
+    QCheck.Gen.(pair (list_size (1 -- 15) gen_op) (0 -- 1000000))
+
+let prop_interleaved_noninterference =
+  QCheck.Test.make
+    ~name:"concurrent streams cannot influence each other (any seed)"
+    ~count:60 arb_interleaved_case (fun (program, seed) ->
+      let m1, a1 = interleaved_run ~seed ~secret:(secret_marker ^ "1") program in
+      let m2, _ = interleaved_run ~seed ~secret:(secret_marker ^ "2") program in
+      let m3, _ =
+        interleaved_run ~seed:(seed + 1) ~secret:(secret_marker ^ "1") program
+      in
+      (* mallory's view is invariant under alice's secret... *)
+      m1 = m2
+      (* ...and under the interleaving itself *)
+      && m1 = m3
+      (* ...and never contains the secret *)
+      && (not (contains m1 secret_marker))
+      (* non-vacuity: alice's own concurrent stream does see her data *)
+      && contains a1 secret_marker)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_interleaved_noninterference ]

@@ -247,6 +247,243 @@ let test_faulty_federation_soak ~seed () =
         rest
   | [] -> assert false
 
+(* ---- scheduled soak: heavy traffic through the interleaving
+   scheduler ----
+
+   The Soak harness admits a whole wave of requests — authenticated,
+   routed, throttled, spawned — before a seeded scheduler interleaves
+   all the in-flight application processes at syscall granularity.
+   These tests pin the harness's own invariants: real concurrency
+   (1000+ simultaneously in-flight requests, preemption actually
+   happening), zero cross-user canary leaks under interleaving, and
+   same-seed determinism down to the byte. *)
+
+let test_scheduled_soak_heavy () =
+  let _, s = Soak.run Soak.default_config in
+  check int_c "all requests admitted" s.Soak.s_requests s.Soak.s_submitted;
+  check bool_c "1000+ requests in flight at once" true
+    (s.Soak.s_peak_in_flight >= 1000);
+  check bool_c "scheduler really interleaved" true (s.Soak.s_preemptions > 0);
+  check bool_c "deep run queue" true (s.Soak.s_max_runq >= 1000);
+  check int_c "no unexpected statuses" 0 s.Soak.s_failed;
+  (* targets are uniform over all 50 users and the friend graph is
+     sparse, so most cross-user views are sanctioned 403s — the
+     denials ARE the enforcement being exercised under load *)
+  check bool_c "plenty served" true (s.Soak.s_ok >= s.Soak.s_requests / 10);
+  check bool_c "enforcement exercised" true (s.Soak.s_forbidden > 0);
+  check int_c "no cross-user canary leaks" 0 s.Soak.s_canary_leaks;
+  check int_c "no unlabeled canary copies" 0 s.Soak.s_unlabeled_canaries;
+  check int_c "no processes lost to quotas" 0 s.Soak.s_killed
+
+let small_config ~seed =
+  { Soak.default_config with Soak.seed; users = 20; requests = 300 }
+
+let test_scheduled_soak_deterministic ~seed () =
+  let p1, s1 = Soak.run (small_config ~seed) in
+  let p2, s2 = Soak.run (small_config ~seed) in
+  (* same seed: byte-identical audit log + store state (tag ids modulo
+     the process-global counter offset), and an identical summary *)
+  check Alcotest.string "byte-identical state fingerprints"
+    (Soak.fingerprint p1.Populate.platform)
+    (Soak.fingerprint p2.Populate.platform);
+  check Alcotest.string "identical rendered summaries" (Soak.render s1)
+    (Soak.render s2);
+  check Alcotest.string "identical digests" s1.Soak.s_digest s2.Soak.s_digest;
+  check int_c "no leaks either run" 0 (s1.Soak.s_canary_leaks + s2.Soak.s_canary_leaks)
+
+(* mid-run fault injection: after the first wave, the provider
+   throttles the front door AND joins a faulty federation mesh; sync
+   rounds run under fire between the remaining waves. Load keeps
+   flowing; denials stay sanctioned (429, not 5xx); the canary that
+   gossips to the remote provider keeps its labels the whole way. *)
+let test_scheduled_soak_mid_run_faults ~seed () =
+  let mesh = W5_federation.Peer.create () in
+  let plan =
+    W5_fault.Fault.of_seed ~drops:4 ~delays:2 ~duplicates:2 ~crashes:1 ~seed ()
+  in
+  let roamer = ref None in
+  let sync_crashes = ref 0 in
+  let between_waves w (society : Populate.society) =
+    let platform = society.Populate.platform in
+    if w = 0 then begin
+      Platform.set_rate_limit platform
+        (Some (Rate_limit.create ~capacity:3 ~refill_per_tick:0 ()));
+      let user = List.hd society.Populate.users in
+      let remote = Platform.create () in
+      (match Platform.signup remote ~user ~password:"pw" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      ok_str (W5_federation.Peer.add_provider mesh ~name:"home" platform);
+      ok_str (W5_federation.Peer.add_provider mesh ~name:"away" remote);
+      let rec link attempt =
+        match
+          W5_federation.Peer.link_user ~faults:plan mesh ~user
+            ~files:[ "profile" ]
+        with
+        | Ok () -> ()
+        | Error _ when attempt < 6 -> link (attempt + 1)
+        | Error e -> Alcotest.failf "link_user: %s" e
+      in
+      link 1;
+      roamer := Some (user, remote)
+    end
+    else
+      match !roamer with
+      | None -> ()
+      | Some (user, _) ->
+          (* a mid-run edit, so the between-wave gossip pushes real
+             transfers through the fault schedule *)
+          let account = Platform.account_exn platform user in
+          (match
+             Platform.write_user_record platform account ~file:"profile"
+               (W5_store.Record.of_fields
+                  [
+                    ("user", user);
+                    ("canary", canary user);
+                    (Printf.sprintf "wave%d" w, canary user);
+                  ])
+           with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "mid-run write: %s" (W5_os.Os_error.to_string e));
+          for _ = 1 to 4 do
+            match W5_federation.Peer.sync_round mesh ~user with
+            | Ok _ -> ()
+            | Error _ -> incr sync_crashes
+          done
+  in
+  let cfg =
+    {
+      Soak.default_config with
+      Soak.seed;
+      users = 16;
+      requests = 360;
+      waves = 3;
+      quantum = 3;
+    }
+  in
+  let society, s = Soak.run ~between_waves cfg in
+  let platform = society.Populate.platform in
+  (* the throttle bit mid-run: later waves got sanctioned 429s *)
+  check bool_c "mid-run throttle took effect" true (s.Soak.s_throttled > 0);
+  check bool_c "first wave still served" true (s.Soak.s_ok > 0);
+  check int_c "no unexpected statuses under faults" 0 s.Soak.s_failed;
+  (* throttling is the user's problem, not an availability breach *)
+  let kernel = Platform.kernel platform in
+  check bool_c "SLO not breached by throttling" false
+    (W5_obs.Health.Slo.breached (Gateway.slo_of platform)
+       ~now:(W5_os.Kernel.tick kernel));
+  check int_c "no leaks under faults" 0 s.Soak.s_canary_leaks;
+  check int_c "no unlabeled copies under faults" 0 s.Soak.s_unlabeled_canaries;
+  (* settle the faulty mesh and check the roamed canary stayed labeled *)
+  match !roamer with
+  | None -> Alcotest.fail "fault injection never ran"
+  | Some (user, remote) ->
+      (* settle on convergence; faults whose slot never saw a transfer
+         are allowed to stay pending (the soak may legitimately finish
+         before the whole plan fires) *)
+      let rec settle budget =
+        if budget = 0 then Alcotest.fail "faulty mesh did not converge"
+        else
+          match W5_federation.Peer.sync_round mesh ~user with
+          | Error _ ->
+              incr sync_crashes;
+              settle (budget - 1)
+          | Ok 0 when W5_federation.Peer.converged mesh ~user -> ()
+          | Ok _ -> settle (budget - 1)
+      in
+      settle 40;
+      check (Alcotest.list Alcotest.string) "no unlabeled canary on remote" []
+        (Soak.unlabeled_canary_paths remote ~needles:[ Soak.canary user ])
+
+(* quota kill mid-request: a CPU hog admitted alongside normal
+   traffic dies to its quota inside the drain. The gateway answers
+   429, the kill and the quota hit are audited (the killed process's
+   audit batch flushed), neighbours are unharmed, and the SLO ledger
+   treats the 429 as served — not as an availability breach. *)
+let test_scheduled_quota_kill ~seed () =
+  let society =
+    Populate.build ~seed ~users:6 ~friends_per_user:2 ~photos_per_user:1
+      ~blog_posts_per_user:1 ()
+  in
+  let platform = society.Populate.platform in
+  let mal = Principal.make Principal.Developer "mal" in
+  ignore (W5_apps.Malicious.publish_all platform ~dev:mal);
+  let u0 = List.hd society.Populate.users in
+  (match Platform.enable_app platform ~user:u0 ~app:"mal/hog" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let jar_of user =
+    let client = Populate.login society user in
+    match Client.cookies client with
+    | [] -> Headers.empty
+    | jar ->
+        Headers.set Headers.empty "Cookie"
+          (String.concat "; " (List.map (fun (k, v) -> k ^ "=" ^ v) jar))
+  in
+  let pendings =
+    List.map
+      (fun user ->
+        let target =
+          if user = u0 then "/app/mal/hog"
+          else "/app/core/social?user=" ^ user
+        in
+        ( user,
+          Gateway.submit platform
+            (Request.make ~headers:(jar_of user) ~client:user Request.GET
+               target) ))
+      society.Populate.users
+  in
+  W5_os.Sched.drain
+    (W5_os.Sched.create ~quantum:2
+       ~policy:(W5_os.Sched.Seeded seed)
+       (Platform.kernel platform));
+  List.iter
+    (fun (user, pending) ->
+      let r = Gateway.conclude platform pending in
+      if user = u0 then
+        check int_c "hog request answered 429" 429
+          (Response.status_code r.Response.status)
+      else
+        check int_c
+          (Printf.sprintf "neighbour %s unharmed" user)
+          200
+          (Response.status_code r.Response.status))
+    pendings;
+  let entries =
+    W5_os.Audit.entries (W5_os.Kernel.audit (Platform.kernel platform))
+  in
+  let kinds =
+    List.map (fun e -> W5_os.Audit.event_kind e.W5_os.Audit.event) entries
+  in
+  check bool_c "quota hit audited" true (List.mem "quota_hit" kinds);
+  check bool_c "kill audited" true
+    (List.exists
+       (fun e ->
+         match e.W5_os.Audit.event with
+         | W5_os.Audit.Killed { reason } ->
+             String.length reason >= 5 && String.sub reason 0 5 = "quota"
+         | _ -> false)
+       entries);
+  let now = W5_os.Kernel.tick (Platform.kernel platform) in
+  let slo = Gateway.slo_of platform in
+  check bool_c "429 does not breach the SLO" false
+    (W5_obs.Health.Slo.breached slo ~now);
+  check bool_c "slo saw the traffic" true
+    (List.exists
+       (fun (row : W5_obs.Health.Slo.row) -> row.W5_obs.Health.Slo.sr_total > 0)
+       (W5_obs.Health.Slo.report slo ~now))
+
+(* CI runs the scheduled soak under a run-derived seed so every
+   pipeline explores a fresh interleaving (same pattern as
+   W5_FAULT_SEED in test_fault). *)
+let env_seeds =
+  match Option.bind (Sys.getenv_opt "W5_SOAK_SEED") int_of_string_opt with
+  | Some seed ->
+      Printf.printf "test_soak: W5_SOAK_SEED=%d\n%!" seed;
+      [ seed ]
+  | None -> []
+
 let suite =
   List.map
     (fun seed ->
@@ -261,3 +498,30 @@ let suite =
           `Slow
           (test_faulty_federation_soak ~seed))
       [ 42; 9001 ]
+  @ [
+      Alcotest.test_case "scheduled soak: 1200 concurrent requests" `Slow
+        test_scheduled_soak_heavy;
+    ]
+  @ List.map
+      (fun seed ->
+        Alcotest.test_case
+          (Printf.sprintf "scheduled soak: same seed, same bytes (seed %d)"
+             seed)
+          `Slow
+          (test_scheduled_soak_deterministic ~seed))
+      ([ 42 ] @ env_seeds)
+  @ List.map
+      (fun seed ->
+        Alcotest.test_case
+          (Printf.sprintf "scheduled soak: mid-run faults (seed %d)" seed)
+          `Slow
+          (test_scheduled_soak_mid_run_faults ~seed))
+      ([ 7 ] @ env_seeds)
+  @ List.map
+      (fun seed ->
+        Alcotest.test_case
+          (Printf.sprintf "scheduled soak: quota kill mid-request (seed %d)"
+             seed)
+          `Slow
+          (test_scheduled_quota_kill ~seed))
+      ([ 5 ] @ env_seeds)

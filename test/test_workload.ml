@@ -164,10 +164,35 @@ let test_rng_float_and_bool () =
   check (Alcotest.list int_c) "shuffle is a permutation" xs
     (List.sort compare (Rng.shuffle rng xs))
 
+(* ---- scripted soak golden ----
+
+   The committed file is the output of `w5 soak` (defaults): a whole
+   1200-request trace admitted at once and interleaved by the seeded
+   scheduler. Byte-equality against it proves the interleaving is
+   deterministic across processes, not just within one. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_soak_golden () =
+  let _, s = Soak.run Soak.default_config in
+  let golden =
+    read_file
+      (List.find Sys.file_exists [ "golden/soak.txt"; "test/golden/soak.txt" ])
+  in
+  check Alcotest.string "byte-for-byte against the committed summary" golden
+    (Soak.render s)
+
 let suite =
   suite
   @ [
       Alcotest.test_case "trace mixes differ" `Quick test_trace_mixes_differ;
       Alcotest.test_case "action pp" `Quick test_action_pp;
       Alcotest.test_case "rng float/bool/shuffle" `Quick test_rng_float_and_bool;
+      Alcotest.test_case "soak summary golden byte-for-byte" `Slow
+        test_soak_golden;
     ]

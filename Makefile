@@ -24,6 +24,7 @@ check: vet
 	dune exec bench/main.exe -- --only federation-faults --smoke
 	dune exec bench/main.exe -- --only trace-health --smoke
 	dune exec bench/main.exe -- --only scheduler --smoke
+	dune exec bench/main.exe -- --only vet-concurrency --smoke
 	dune exec bin/w5.exe -- explain > /dev/null
 	dune exec bin/w5.exe -- trace --federated | diff -u test/golden/trace_federated.txt -
 	dune exec bin/w5.exe -- health | diff -u test/golden/health.txt -
@@ -35,10 +36,15 @@ check: vet
 # byte for byte (regenerate it with the redirect below after a
 # *reviewed* change to the showcase or the analyzer).
 #   dune exec bin/w5.exe -- vet --format json > test/golden/vet.json
+# The preemption-aware arm rides along: the clean showcase model must
+# stay byte-identical (and exit 0), and the seeded TOCTOU fixture must
+# be detected as a stale flow check, exit code exactly 3.
 vet:
 	dune build bin/w5.exe
 	dune exec bin/w5.exe -- vet --runtime 300
 	dune exec bin/w5.exe -- vet --format json | diff -u test/golden/vet.json -
+	dune exec bin/w5.exe -- vet --concurrency | diff -u test/golden/vet_concurrency.txt -
+	dune exec bin/w5.exe -- vet --toctou > /dev/null; test $$? -eq 3
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,108 @@
+open W5_os
+
+type cell = Syscall.Spec.cell =
+  | Subject_secrecy
+  | Subject_integrity
+  | Subject_caps
+  | Object_labels
+  | Dir_summary
+  | Peer_labels
+  | Peer_caps
+
+type write_kind = Syscall.Spec.write_kind = Merge | Assign | Retract
+
+let cell_name = Syscall.Spec.cell_name
+let write_kind_name = Syscall.Spec.write_kind_name
+let specs = Syscall.Spec.all
+let find_spec = Syscall.Spec.find
+
+(* Cross-process aliasing: can a cell named in process A's footprint
+   denote the same state as a cell named in process B's? Object and
+   directory cells are shared naming (the filesystem is global, and a
+   directory node is itself a labeled object, so Object_labels may
+   denote a node whose Dir_summary another op consults). A process's
+   own Subject_* state is exactly some other process's Peer_* state —
+   that is the aliasing that makes cap.grant or spawn interfere with
+   the grantee's own label ops. Subject_* against Subject_* of a
+   *different* process never aliases: each process owns its cells. *)
+let may_alias a b =
+  match (a, b) with
+  | Object_labels, Object_labels
+  | Dir_summary, Dir_summary
+  | Object_labels, Dir_summary
+  | Dir_summary, Object_labels -> true
+  | (Subject_secrecy | Subject_integrity), Peer_labels
+  | Peer_labels, (Subject_secrecy | Subject_integrity) -> true
+  | Subject_caps, Peer_caps | Peer_caps, Subject_caps -> true
+  | Peer_labels, Peer_labels | Peer_caps, Peer_caps -> true
+  | _ -> false
+
+(* Write-kind commutativity, the projection of Flow.updates_commute
+   onto kinds alone (tag-set operands are not statically known, so
+   the Merge/Retract disjointness case conservatively reports false).
+   A QCheck law checks this against Flow.updates_commute: whenever
+   the kind-level judgment says true, the update-level one must too. *)
+let commutes a b =
+  match (a, b) with
+  | Merge, Merge | Retract, Retract -> true
+  | _ -> false
+
+let touches_cell cell (spec : Syscall.Spec.t) =
+  List.exists (fun c -> may_alias c cell) spec.Syscall.Spec.reads
+  || List.exists (fun (c, _) -> may_alias c cell) spec.Syscall.Spec.writes
+
+let writes_label_state (spec : Syscall.Spec.t) = spec.Syscall.Spec.writes <> []
+
+let write_kinds_on cell (spec : Syscall.Spec.t) =
+  List.filter_map
+    (fun (c, k) -> if may_alias c cell then Some k else None)
+    spec.Syscall.Spec.writes
+
+type conflict = {
+  cell : cell;  (** the cell of [a] that the conflict is on *)
+  a_op : string;
+  b_op : string;
+  a_writes : bool;
+  b_writes : bool;
+  benign : bool;
+      (** both sides write and every write-kind pair commutes *)
+}
+
+(* All cell-level conflicts between two ops run by *different*
+   processes: some cell of [a]'s footprint aliases a cell of [b]'s,
+   and at least one side writes its cell. Read/read pairs are not
+   conflicts. *)
+let conflicts (a : Syscall.Spec.t) (b : Syscall.Spec.t) =
+  let cells_of (s : Syscall.Spec.t) =
+    List.sort_uniq Stdlib.compare
+      (s.Syscall.Spec.reads @ List.map fst s.Syscall.Spec.writes)
+  in
+  List.filter_map
+    (fun cell ->
+      let a_kinds = write_kinds_on cell a in
+      let b_kinds = write_kinds_on cell b in
+      let a_writes = a_kinds <> [] in
+      let b_writes =
+        b_kinds <> []
+        (* b writing any aliasing cell counts even if b never reads it *)
+      in
+      let b_touches = touches_cell cell b in
+      if not b_touches then None
+      else if (not a_writes) && not b_writes then None
+      else
+        let benign =
+          a_writes && b_writes
+          && List.for_all
+               (fun ka -> List.for_all (fun kb -> commutes ka kb) b_kinds)
+               a_kinds
+        in
+        Some
+          {
+            cell;
+            a_op = a.Syscall.Spec.op;
+            b_op = b.Syscall.Spec.op;
+            a_writes;
+            b_writes;
+            benign;
+          })
+    (cells_of a)

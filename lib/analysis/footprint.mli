@@ -1,0 +1,59 @@
+(** Footprint algebra over the syscall spec table.
+
+    Re-exports {!W5_os.Syscall.Spec}'s cell and write-kind vocabulary
+    and adds the two judgments the interference analysis needs:
+    cross-process {e aliasing} (which cell names can denote the same
+    state when held by different processes) and write-kind
+    {e commutativity} (which write pairs are order-independent by the
+    join-semilattice laws). *)
+
+type cell = W5_os.Syscall.Spec.cell =
+  | Subject_secrecy
+  | Subject_integrity
+  | Subject_caps
+  | Object_labels
+  | Dir_summary
+  | Peer_labels
+  | Peer_caps
+
+type write_kind = W5_os.Syscall.Spec.write_kind = Merge | Assign | Retract
+
+val cell_name : cell -> string
+val write_kind_name : write_kind -> string
+
+val specs : W5_os.Syscall.Spec.t list
+val find_spec : string -> W5_os.Syscall.Spec.t option
+
+val may_alias : cell -> cell -> bool
+(** Can [a] in one process's footprint denote the same state as [b]
+    in another's? Object/dir cells are globally shared; a process's
+    [Subject_*] is some other process's [Peer_*]; two different
+    processes' [Subject_*] cells never alias. Reflexivity only holds
+    for shared cells — by design: [may_alias Subject_secrecy
+    Subject_secrecy = false] because the two processes each own their
+    copy. *)
+
+val commutes : write_kind -> write_kind -> bool
+(** Kind-level projection of {!W5_difc.Flow.updates_commute}:
+    [Merge]/[Merge] and [Retract]/[Retract] commute, everything
+    involving [Assign] (and the operand-dependent [Merge]/[Retract]
+    case) conservatively does not. *)
+
+val touches_cell : cell -> W5_os.Syscall.Spec.t -> bool
+val writes_label_state : W5_os.Syscall.Spec.t -> bool
+val write_kinds_on : cell -> W5_os.Syscall.Spec.t -> write_kind list
+
+type conflict = {
+  cell : cell;
+  a_op : string;
+  b_op : string;
+  a_writes : bool;
+  b_writes : bool;
+  benign : bool;
+}
+
+val conflicts : W5_os.Syscall.Spec.t -> W5_os.Syscall.Spec.t -> conflict list
+(** Cell-level conflicts between two ops run by different processes:
+    pairs where a cell of the first aliases a cell of the second and
+    at least one side writes. [benign] marks write/write pairs whose
+    kinds all commute. *)

@@ -1,7 +1,9 @@
 open W5_difc
 open W5_os
 
-type severity = Critical | High | Warning | Info
+(* severities and the exit-code contract live in Severity, shared with
+   `w5 vet --concurrency`, `w5 health`, and the soak CLI *)
+type severity = Severity.t = Critical | High | Warning | Info
 
 type finding =
   | Enforcement_off
@@ -20,13 +22,9 @@ let severity_of = function
   | No_rule _ | Overbroad_gate _ | Closed_cycle _ -> Warning
   | Dead_gate _ | Dangling_edge _ -> Info
 
-let severity_rank = function Critical -> 0 | High -> 1 | Warning -> 2 | Info -> 3
-
-let severity_name = function
-  | Critical -> "critical"
-  | High -> "high"
-  | Warning -> "warning"
-  | Info -> "info"
+(* report-local rank: 0 = worst, for sorting findings worst-first *)
+let severity_rank s = Severity.rank Critical - Severity.rank s
+let severity_name = Severity.name
 
 let kind_of = function
   | Enforcement_off -> "enforcement_off"
@@ -93,6 +91,14 @@ let sccs ~nodes ~successors =
   let stack = ref [] in
   let counter = ref 0 in
   let components = ref [] in
+  (* invariant-keyed lookup: [strongconnect] assigns index and lowlink
+     to a node before ever reading them back, so a miss here is a bug
+     in the traversal itself, not an input condition *)
+  let tarjan_get tbl v =
+    match Hashtbl.find_opt tbl v with
+    | Some x -> x
+    | None -> invalid_arg "Vet.sccs: unvisited node in Tarjan lookup"
+  in
   let rec strongconnect v =
     Hashtbl.replace index v !counter;
     Hashtbl.replace lowlink v !counter;
@@ -104,13 +110,13 @@ let sccs ~nodes ~successors =
         if not (Hashtbl.mem index w) then begin
           strongconnect w;
           Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+            (min (tarjan_get lowlink v) (tarjan_get lowlink w))
         end
         else if Hashtbl.mem on_stack w then
           Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+            (min (tarjan_get lowlink v) (tarjan_get index w)))
       (successors v);
-    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+    if tarjan_get lowlink v = tarjan_get index v then begin
       let rec pop acc =
         match !stack with
         | [] -> acc
@@ -344,25 +350,13 @@ let max_severity r =
   let unsound =
     match r.runtime with Some rt -> rt.violations <> [] | None -> false
   in
-  let worst =
-    List.fold_left
-      (fun acc f ->
-        let s = severity_of f in
-        match acc with
-        | None -> Some s
-        | Some best ->
-            if severity_rank s < severity_rank best then Some s else acc)
-      (if unsound then Some Critical else None)
-      r.findings
-  in
-  worst
+  List.fold_left
+    (fun acc f -> Some (Option.fold ~none:(severity_of f)
+                          ~some:(Severity.max_sev (severity_of f)) acc))
+    (if unsound then Some Critical else None)
+    r.findings
 
-let exit_code r =
-  match max_severity r with
-  | None | Some Info -> 0
-  | Some Warning -> 2
-  | Some High -> 3
-  | Some Critical -> 4
+let exit_code r = Severity.exit_code (max_severity r)
 
 let disposition_string st (ti : Static.tag_info) =
   if not ti.Static.secrecy then "integrity"
@@ -551,3 +545,20 @@ let to_text r =
             v.v_tag)
         rt.violations);
   Buffer.contents b
+
+(* ---- metrics --------------------------------------------------------- *)
+
+(* Finding counts by severity — label values are the closed severity
+   set, so no user byte can leak through the exposition (the canary
+   sweep in the test suite asserts this). *)
+let export_metrics registry r =
+  let g =
+    W5_obs.Metrics.gauge registry "w5_vet_findings_total"
+      ~help:"Vet findings by severity at the last analysis"
+  in
+  List.iter
+    (fun s ->
+      W5_obs.Metrics.set g
+        ~labels:[ ("severity", Severity.name s) ]
+        (count_severity r.findings s))
+    Severity.all

@@ -5,8 +5,9 @@
     with no declassifier decision at all; [High] means an export path
     is misconfigured in a way that either fails every request or
     hands the decision to foreign code; [Warning] flags latent policy
-    gaps; [Info] is hygiene. *)
-type severity = Critical | High | Warning | Info
+    gaps; [Info] is hygiene. Re-exported from {!Severity}, the shared
+    home of the severity→exit-code contract. *)
+type severity = Severity.t = Critical | High | Warning | Info
 
 type finding =
   | Enforcement_off
@@ -86,3 +87,9 @@ val to_text : report -> string
 val to_json : report -> string
 (** Deterministic (sorted, nameless-of-runtime-ids) rendering — the CI
     golden file is a byte-for-byte diff of this output. *)
+
+val export_metrics : W5_obs.Metrics.t -> report -> unit
+(** Publish [w5_vet_findings_total{severity}] gauges. Label values are
+    the closed severity set — never tag, app, or user names — so no
+    user byte can leak through the metrics exposition (asserted by the
+    canary sweep in the test suite). *)

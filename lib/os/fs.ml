@@ -69,12 +69,10 @@ let rec lookup_dir dir = function
       | Some (Dir d) -> lookup_dir d rest)
 
 let lookup fs path =
-  match split_path path with
+  match List.rev (split_path path) with
   | [] -> Ok (Dir fs.root)
-  | comps -> (
-      let rev = List.rev comps in
-      let dirs = List.rev (List.tl rev) and last = List.hd rev in
-      match lookup_dir fs.root dirs with
+  | last :: rdirs -> (
+      match lookup_dir fs.root (List.rev rdirs) with
       | Error _ as e -> e
       | Ok dir -> (
           match Hashtbl.find_opt dir.entries last with
@@ -82,12 +80,10 @@ let lookup fs path =
           | Some node -> Ok node))
 
 let lookup_parent fs path =
-  match split_path path with
+  match List.rev (split_path path) with
   | [] -> Error `Missing (* the root has no parent entry *)
-  | comps ->
-      let rev = List.rev comps in
-      let dirs = List.rev (List.tl rev) and last = List.hd rev in
-      Result.map (fun d -> (d, last)) (lookup_dir fs.root dirs)
+  | last :: rdirs ->
+      Result.map (fun d -> (d, last)) (lookup_dir fs.root (List.rev rdirs))
 
 let fs_error path = function
   | `Missing -> Os_error.Not_found path

@@ -127,14 +127,40 @@ let push t slot =
 let pop_at t i =
   let n = capacity t in
   let pi = (t.head + i) mod n in
-  let slot = Option.get t.buf.(pi) in
-  t.buf.(pi) <- t.buf.(t.head);
-  t.buf.(t.head) <- None;
-  t.head <- (t.head + 1) mod n;
-  t.len <- t.len - 1;
-  slot
+  (* indices below [len] are always populated; an empty slot here
+     means the circular-buffer bookkeeping itself is broken *)
+  match t.buf.(pi) with
+  | None -> invalid_arg "Sched.pop_at: empty slot inside run queue"
+  | Some slot ->
+      t.buf.(pi) <- t.buf.(t.head);
+      t.buf.(t.head) <- None;
+      t.head <- (t.head + 1) mod n;
+      t.len <- t.len - 1;
+      slot
 
 let queue_depth t = t.len
+let quantum t = t.quantum
+let policy t = t.policy
+
+(* {2 Preemption-model introspection}
+
+   Constants the static interference analysis (lib/analysis) builds
+   its may-happen-in-parallel model from. They are facts about the
+   code in this file; the differential-soundness tests replay real
+   scheduler audit logs against a model derived from them, so if
+   either ever changes without the analysis following, the replay
+   fails. *)
+
+(* [hook] performs Yield only from inside [Kernel.preempt_point],
+   which syscall dispatch crosses exactly once, at entry, before the
+   audit batch opens — there are no mid-syscall preemption points. *)
+let entry_preemption_only = true
+
+(* A gate child runs nested inside the caller's dispatch (audit depth
+   >= 1) and under a pid different from [t.current]; both conditions
+   independently keep [hook] from firing, so a gate body can never be
+   torn by this scheduler. *)
+let gate_children_atomic = true
 
 let stats t =
   {

@@ -61,6 +61,31 @@ val drain : t -> unit
 val queue_depth : t -> int
 (** Suspended-or-admitted processes currently waiting for a slice. *)
 
+val quantum : t -> int
+(** The tick budget per slice this scheduler was created with. *)
+
+val policy : t -> policy
+
+(** {2 Preemption-model introspection}
+
+    Facts about this scheduler's preemption placement, exported so the
+    static interference analysis (lib/analysis) derives its
+    may-happen-in-parallel model from the scheduler itself rather than
+    restating it. The differential-soundness suite replays real
+    scheduler audit logs against the derived model, so changing the
+    scheduler without updating these constants (or vice versa) turns
+    the replay red. *)
+
+val entry_preemption_only : bool
+(** [true]: the preempt hook fires only from {!Kernel.preempt_point},
+    which dispatch crosses exactly once at syscall entry — never in
+    the middle of a syscall body. *)
+
+val gate_children_atomic : bool
+(** [true]: a gate child runs nested inside its caller's dispatch
+    (audit depth > 0, pid ≠ current), so neither it nor the enclosing
+    privilege transfer can be preempted. *)
+
 val stats : t -> stats
 (** Cumulative counters since {!create}. *)
 

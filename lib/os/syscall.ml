@@ -3,6 +3,246 @@ open W5_obs
 
 type 'a r = ('a, Os_error.t) result
 
+(* {1 Syscall footprints}
+
+   One declarative record per operation, stating which pieces of label
+   state the op reads and writes, which label facts its action safety
+   *depends* on, and which of those it *revalidates* inside the same
+   dispatch. The static interference analysis (lib/analysis) consumes
+   this table instead of re-deriving footprints from prose.
+
+   The table cannot drift from the implementation because the records
+   below are not merely documentation: [dispatch] takes the spec, uses
+   [op] for every metric/trace/histogram label, and consults
+   [entry_preempt] to decide whether to cross the scheduler's
+   preemption point. A test additionally drives every op once under a
+   counting preempt hook and checks the observed crossings against the
+   table. *)
+module Spec = struct
+  (* The unit of interference: one addressable piece of label state.
+     Subject_* cells are the calling process's own mutable label state;
+     Object_labels / Dir_summary belong to filesystem nodes; Peer_*
+     cells are another process's label state touched through IPC,
+     capability grants, or spawning. *)
+  type cell =
+    | Subject_secrecy
+    | Subject_integrity
+    | Subject_caps
+    | Object_labels
+    | Dir_summary
+    | Peer_labels
+    | Peer_caps
+
+  (* How a write combines with the cell's current value. [Merge] and
+     [Retract] are the semilattice directions (join with / remove from
+     the current tag set); [Assign] replaces wholesale. The
+     commutativity judgment in lib/analysis keys on this. *)
+  type write_kind = Merge | Assign | Retract
+
+  type t = {
+    op : string;  (** the dispatch/metric/audit name of the syscall *)
+    reads : cell list;  (** label state inspected by the op *)
+    writes : (cell * write_kind) list;  (** label state mutated *)
+    depends : cell list;
+        (** cells whose value the op's *action* safety rests on: a
+            flow-check input whose change could invalidate the check *)
+    revalidates : cell list;
+        (** the subset of [depends] re-checked inside this same atomic
+            dispatch — a dependency not revalidated is TOCTOU bait *)
+    entry_preempt : bool;
+        (** whether this op crosses [Kernel.preempt_point] at entry
+            (probe-only ops do not) *)
+  }
+
+  let cell_name = function
+    | Subject_secrecy -> "subject_secrecy"
+    | Subject_integrity -> "subject_integrity"
+    | Subject_caps -> "subject_caps"
+    | Object_labels -> "object_labels"
+    | Dir_summary -> "dir_summary"
+    | Peer_labels -> "peer_labels"
+    | Peer_caps -> "peer_caps"
+
+  let write_kind_name = function
+    | Merge -> "merge"
+    | Assign -> "assign"
+    | Retract -> "retract"
+
+  (* Smart constructor: unless stated otherwise an op revalidates
+     everything it depends on (all checks run inside the dispatch),
+     and every dispatched op crosses the entry preemption point. *)
+  let v ?(reads = []) ?(writes = []) ?(depends = []) ?revalidates
+      ?(entry_preempt = true) op =
+    let revalidates = Option.value revalidates ~default:depends in
+    { op; reads; writes; depends; revalidates; entry_preempt }
+
+  let label_absorb =
+    v "label.absorb"
+      ~reads:[ Subject_secrecy; Subject_integrity; Subject_caps ]
+      ~writes:[ (Subject_secrecy, Merge); (Subject_integrity, Merge) ]
+      ~depends:[ Subject_caps ]
+
+  let tag_create = v "tag.create" ~writes:[ (Subject_caps, Merge) ]
+
+  let label_set =
+    v "label.set"
+      ~reads:[ Subject_secrecy; Subject_integrity; Subject_caps ]
+      ~writes:[ (Subject_secrecy, Assign); (Subject_integrity, Assign) ]
+      ~depends:[ Subject_caps ]
+
+  let label_taint =
+    v "label.taint"
+      ~reads:[ Subject_secrecy; Subject_integrity; Subject_caps ]
+      ~writes:[ (Subject_secrecy, Merge) ]
+      ~depends:[ Subject_caps ]
+
+  let label_declassify =
+    v "label.declassify" ~reads:[ Subject_caps ]
+      ~writes:[ (Subject_secrecy, Retract) ]
+      ~depends:[ Subject_caps ]
+
+  let label_endorse =
+    v "label.endorse" ~reads:[ Subject_caps ]
+      ~writes:[ (Subject_integrity, Merge) ]
+      ~depends:[ Subject_caps ]
+
+  let label_drop_integrity =
+    v "label.drop_integrity" ~writes:[ (Subject_integrity, Retract) ]
+
+  let cap_grant =
+    v "cap.grant"
+      ~reads:[ Subject_secrecy; Subject_integrity; Subject_caps; Peer_labels ]
+      ~writes:[ (Peer_caps, Merge) ]
+      ~depends:[ Subject_caps; Peer_labels ]
+
+  let cap_drop = v "cap.drop" ~writes:[ (Subject_caps, Retract) ]
+
+  let fs_mkdir =
+    v "fs.mkdir"
+      ~reads:[ Subject_secrecy; Subject_integrity; Dir_summary ]
+      ~writes:[ (Object_labels, Assign); (Dir_summary, Merge) ]
+      ~depends:[ Dir_summary ]
+
+  let fs_create =
+    v "fs.create"
+      ~reads:[ Subject_secrecy; Subject_integrity; Dir_summary ]
+      ~writes:[ (Object_labels, Assign); (Dir_summary, Merge) ]
+      ~depends:[ Dir_summary ]
+
+  let fs_read =
+    v "fs.read"
+      ~reads:[ Subject_secrecy; Subject_integrity; Object_labels; Dir_summary ]
+      ~depends:[ Object_labels; Dir_summary ]
+
+  let fs_read_taint =
+    v "fs.read_taint"
+      ~reads:[ Subject_caps; Object_labels; Dir_summary ]
+      ~writes:[ (Subject_secrecy, Merge); (Subject_integrity, Merge) ]
+      ~depends:[ Subject_caps ]
+
+  let fs_write =
+    v "fs.write"
+      ~reads:[ Subject_secrecy; Subject_integrity; Object_labels ]
+      ~depends:[ Object_labels ]
+
+  let fs_append =
+    v "fs.append"
+      ~reads:[ Subject_secrecy; Subject_integrity; Object_labels ]
+      ~depends:[ Object_labels ]
+
+  let fs_unlink =
+    v "fs.unlink"
+      ~reads:[ Subject_secrecy; Subject_integrity; Object_labels; Dir_summary ]
+      ~writes:[ (Object_labels, Retract); (Dir_summary, Retract) ]
+      ~depends:[ Object_labels; Dir_summary ]
+
+  let fs_rename =
+    v "fs.rename"
+      ~reads:[ Subject_secrecy; Subject_integrity; Object_labels; Dir_summary ]
+      ~writes:[ (Dir_summary, Retract); (Dir_summary, Merge) ]
+      ~depends:[ Object_labels; Dir_summary ]
+
+  let fs_relabel =
+    v "fs.relabel"
+      ~reads:[ Subject_secrecy; Subject_integrity; Subject_caps; Object_labels ]
+      ~writes:[ (Object_labels, Assign) ]
+      ~depends:[ Object_labels; Subject_caps ]
+
+  let fs_readdir =
+    v "fs.readdir"
+      ~reads:[ Subject_secrecy; Subject_integrity; Dir_summary ]
+      ~depends:[ Dir_summary ]
+
+  let fs_stat = v "fs.stat" ~reads:[ Object_labels ]
+  let fs_exists = v "fs.exists" ~reads:[ Dir_summary ] ~entry_preempt:false
+
+  let ipc_send =
+    v "ipc.send"
+      ~reads:[ Subject_secrecy; Subject_integrity; Subject_caps; Peer_labels ]
+      ~depends:[ Subject_caps; Peer_labels ]
+
+  let ipc_recv =
+    v "ipc.recv"
+      ~reads:[ Subject_caps; Peer_labels ]
+      ~writes:
+        [ (Subject_secrecy, Merge);
+          (Subject_integrity, Merge);
+          (Subject_caps, Merge) ]
+      ~depends:[ Subject_caps ]
+
+  let proc_spawn =
+    v "proc.spawn"
+      ~reads:[ Subject_secrecy; Subject_integrity; Subject_caps ]
+      ~writes:[ (Peer_labels, Assign); (Peer_caps, Assign) ]
+      ~depends:[ Subject_caps ]
+
+  let gate_invoke =
+    v "gate.invoke"
+      ~reads:[ Subject_caps; Peer_labels ]
+      ~writes:[ (Subject_secrecy, Merge); (Subject_integrity, Merge) ]
+      ~depends:[ Subject_caps ]
+
+  let proc_respond =
+    v "proc.respond"
+      ~reads:[ Subject_secrecy; Subject_integrity ]
+      ~depends:[ Subject_secrecy; Subject_integrity ]
+
+  let proc_consume = v "proc.consume"
+  let debug_note = v "debug.note"
+
+  let all =
+    [ label_absorb;
+      tag_create;
+      label_set;
+      label_taint;
+      label_declassify;
+      label_endorse;
+      label_drop_integrity;
+      cap_grant;
+      cap_drop;
+      fs_mkdir;
+      fs_create;
+      fs_read;
+      fs_read_taint;
+      fs_write;
+      fs_append;
+      fs_unlink;
+      fs_rename;
+      fs_relabel;
+      fs_readdir;
+      fs_stat;
+      fs_exists;
+      ipc_send;
+      ipc_recv;
+      proc_spawn;
+      gate_invoke;
+      proc_respond;
+      debug_note;
+      proc_consume ]
+
+  let find op = List.find_opt (fun s -> s.op = op) all
+end
+
 let pid (ctx : Kernel.ctx) = ctx.proc.Proc.pid
 let my_labels (ctx : Kernel.ctx) = ctx.proc.Proc.labels
 let my_caps (ctx : Kernel.ctx) = ctx.proc.Proc.caps
@@ -33,12 +273,14 @@ let enter ctx op =
    [t0] is read before [enter] advances the clock, so even the
    simplest syscall observes its own crossing; composite syscalls
    (gate invocations, tainting reads) observe every tick they drove. *)
-let dispatch ctx op f =
+let dispatch ctx (spec : Spec.t) f =
   let kernel = ctx.Kernel.kernel in
+  let op = spec.Spec.op in
   (* Dispatch entry is the kernel-crossing boundary: the only point
      where a scheduler may preempt the running process. Fired before
-     the audit batch opens so a suspension never splits a batch. *)
-  Kernel.preempt_point kernel ctx.Kernel.proc;
+     the audit batch opens so a suspension never splits a batch.
+     Whether an op crosses it is part of its declared footprint. *)
+  if spec.Spec.entry_preempt then Kernel.preempt_point kernel ctx.Kernel.proc;
   let clock () = Kernel.tick kernel in
   let timed () =
     (* Batch the syscall's audit appends: a call that passes its checks
@@ -46,7 +288,10 @@ let dispatch ctx op f =
        not one per recorded event. *)
     Kernel.with_audit_batch kernel @@ fun () ->
     Perf.time (Kernel.meters kernel).Kernel.syscall_ticks
-      ~labels:[ ("op", op) ] ~clock f
+      ~labels:[ ("op", op) ] ~clock
+      (fun () ->
+        enter ctx op;
+        f ())
   in
   let tracer = Kernel.tracer kernel in
   if not (Tracer.enabled tracer) then timed ()
@@ -131,13 +376,11 @@ let absorb ctx ?(via = "absorb") ?(subject = Audit.No_subject)
 (* {1 Tags and labels} *)
 
 let absorb_labels ctx incoming =
-  dispatch ctx "label.absorb" @@ fun () ->
-  enter ctx "label.absorb";
+  dispatch ctx Spec.label_absorb @@ fun () ->
   absorb ctx ~via:"label.absorb" incoming
 
 let create_tag ctx ?name ?restricted kind =
-  dispatch ctx "tag.create" @@ fun () ->
-  enter ctx "tag.create";
+  dispatch ctx Spec.tag_create @@ fun () ->
   let tag = Tag.fresh ?name ?restricted kind in
   ctx.Kernel.proc.Proc.caps <-
     Capability.Set.grant_dual tag ctx.Kernel.proc.Proc.caps;
@@ -183,8 +426,7 @@ let check_label_change_conv ~caps ~(old_labels : Flow.labels)
       else Ok ()
 
 let set_labels ctx new_labels =
-  dispatch ctx "label.set" @@ fun () ->
-  enter ctx "label.set";
+  dispatch ctx Spec.label_set @@ fun () ->
   let proc = ctx.Kernel.proc in
   let decision =
     if not (enforcing ctx) then Ok ()
@@ -202,8 +444,7 @@ let set_labels ctx new_labels =
       Ok ()
 
 let add_taint ctx taint =
-  dispatch ctx "label.taint" @@ fun () ->
-  enter ctx "label.taint";
+  dispatch ctx Spec.label_taint @@ fun () ->
   (* self-tainting only raises secrecy; it says nothing about (and
      must not erode) the caller's integrity *)
   absorb ctx ~via:"label.taint"
@@ -211,8 +452,7 @@ let add_taint ctx taint =
        ~integrity:ctx.Kernel.proc.Proc.labels.Flow.integrity ())
 
 let declassify_self ctx ?(context = "self") tag =
-  dispatch ctx "label.declassify" @@ fun () ->
-  enter ctx "label.declassify";
+  dispatch ctx Spec.label_declassify @@ fun () ->
   let proc = ctx.Kernel.proc in
   if enforcing ctx && not (Capability.Set.can_drop tag proc.Proc.caps) then
     Error (Os_error.Denied (Flow.Unauthorized_drop (Label.singleton tag)))
@@ -228,8 +468,7 @@ let declassify_self ctx ?(context = "self") tag =
   end
 
 let endorse_self ctx tag =
-  dispatch ctx "label.endorse" @@ fun () ->
-  enter ctx "label.endorse";
+  dispatch ctx Spec.label_endorse @@ fun () ->
   let proc = ctx.Kernel.proc in
   if enforcing ctx && not (Capability.Set.can_add tag proc.Proc.caps) then
     Error (Os_error.Denied (Flow.Unauthorized_add (Label.singleton tag)))
@@ -243,8 +482,7 @@ let endorse_self ctx tag =
   end
 
 let drop_integrity ctx tag =
-  dispatch ctx "label.drop_integrity" @@ fun () ->
-  enter ctx "label.drop_integrity";
+  dispatch ctx Spec.label_drop_integrity @@ fun () ->
   let proc = ctx.Kernel.proc in
   proc.Proc.labels <-
     {
@@ -254,8 +492,7 @@ let drop_integrity ctx tag =
   Ok ()
 
 let grant_cap ctx ~to_ cap =
-  dispatch ctx "cap.grant" @@ fun () ->
-  enter ctx "cap.grant";
+  dispatch ctx Spec.cap_grant @@ fun () ->
   let proc = ctx.Kernel.proc in
   if enforcing ctx && not (Capability.Set.mem cap proc.Proc.caps) then
     Error (Os_error.Permission "grant_cap: capability not owned")
@@ -275,8 +512,7 @@ let grant_cap ctx ~to_ cap =
             Ok ())
 
 let drop_cap ctx cap =
-  dispatch ctx "cap.drop" @@ fun () ->
-  enter ctx "cap.drop";
+  dispatch ctx Spec.cap_drop @@ fun () ->
   let proc = ctx.Kernel.proc in
   proc.Proc.caps <- Capability.Set.remove cap proc.Proc.caps;
   Ok ()
@@ -286,8 +522,7 @@ let drop_cap ctx cap =
 let fs ctx = Kernel.fs ctx.Kernel.kernel
 
 let mkdir ctx path ~labels =
-  dispatch ctx "fs.mkdir" @@ fun () ->
-  enter ctx "fs.mkdir";
+  dispatch ctx Spec.fs_mkdir @@ fun () ->
   charge ctx Resource.Files 1;
   let proc = ctx.Kernel.proc in
   match Fs.parent_labels (fs ctx) path with
@@ -313,8 +548,7 @@ let mkdir ctx path ~labels =
                   Ok ())))
 
 let create_file ctx path ~labels ~data =
-  dispatch ctx "fs.create" @@ fun () ->
-  enter ctx "fs.create";
+  dispatch ctx Spec.fs_create @@ fun () ->
   charge ctx Resource.Files 1;
   charge ctx Resource.Disk (String.length data);
   let proc = ctx.Kernel.proc in
@@ -341,8 +575,7 @@ let create_file ctx path ~labels ~data =
                   Ok ())))
 
 let read_file ctx path =
-  dispatch ctx "fs.read" @@ fun () ->
-  enter ctx "fs.read";
+  dispatch ctx Spec.fs_read @@ fun () ->
   let proc = ctx.Kernel.proc in
   match Fs.read (fs ctx) path with
   | Error _ as e -> e
@@ -367,8 +600,7 @@ let read_file ctx path =
               Ok data))
 
 let read_file_taint ctx path =
-  dispatch ctx "fs.read_taint" @@ fun () ->
-  enter ctx "fs.read_taint";
+  dispatch ctx Spec.fs_read_taint @@ fun () ->
   match Fs.read (fs ctx) path with
   | Error _ as e -> e
   | Ok (data, labels) -> (
@@ -397,24 +629,21 @@ let write_check ctx ~op path =
         ~dst:st.Fs.labels
 
 let write_file ctx path ~data =
-  dispatch ctx "fs.write" @@ fun () ->
-  enter ctx "fs.write";
+  dispatch ctx Spec.fs_write @@ fun () ->
   charge ctx Resource.Disk (String.length data);
   match write_check ctx ~op:"fs.write" path with
   | Error _ as e -> e
   | Ok () -> Fs.write (fs ctx) path ~data
 
 let append_file ctx path ~data =
-  dispatch ctx "fs.append" @@ fun () ->
-  enter ctx "fs.append";
+  dispatch ctx Spec.fs_append @@ fun () ->
   charge ctx Resource.Disk (String.length data);
   match write_check ctx ~op:"fs.append" path with
   | Error _ as e -> e
   | Ok () -> Fs.append (fs ctx) path ~data
 
 let unlink ctx path =
-  dispatch ctx "fs.unlink" @@ fun () ->
-  enter ctx "fs.unlink";
+  dispatch ctx Spec.fs_unlink @@ fun () ->
   let proc = ctx.Kernel.proc in
   match Fs.parent_labels (fs ctx) path with
   | Error _ as e -> e
@@ -432,8 +661,7 @@ let unlink ctx path =
           | Ok () -> Fs.unlink (fs ctx) path))
 
 let rename ctx ~src ~dst =
-  dispatch ctx "fs.rename" @@ fun () ->
-  enter ctx "fs.rename";
+  dispatch ctx Spec.fs_rename @@ fun () ->
   let proc = ctx.Kernel.proc in
   let parent_check label path =
     match Fs.parent_labels (fs ctx) path with
@@ -453,8 +681,7 @@ let rename ctx ~src ~dst =
           | Ok () -> Fs.rename (fs ctx) ~src ~dst))
 
 let set_file_labels ctx path ~labels =
-  dispatch ctx "fs.relabel" @@ fun () ->
-  enter ctx "fs.relabel";
+  dispatch ctx Spec.fs_relabel @@ fun () ->
   let proc = ctx.Kernel.proc in
   match Fs.stat (fs ctx) path with
   | Error _ as e -> e
@@ -488,8 +715,7 @@ let set_file_labels ctx path ~labels =
                   Ok ())))
 
 let readdir ctx path =
-  dispatch ctx "fs.readdir" @@ fun () ->
-  enter ctx "fs.readdir";
+  dispatch ctx Spec.fs_readdir @@ fun () ->
   let proc = ctx.Kernel.proc in
   match Fs.readdir (fs ctx) path with
   | Error _ as e -> e
@@ -505,22 +731,21 @@ let readdir ctx path =
       | Ok () -> Ok names)
 
 let stat ctx path =
-  dispatch ctx "fs.stat" @@ fun () ->
-  enter ctx "fs.stat";
+  dispatch ctx Spec.fs_stat @@ fun () ->
   Fs.stat (fs ctx) path
 
 let file_exists ctx path =
-  (* probe only: charged but does not advance the logical clock *)
+  (* probe only: charged but does not advance the logical clock, and —
+     as Spec.fs_exists declares — never crosses the preemption point *)
   charge ctx Resource.Cpu 1;
   Metrics.inc (Kernel.meters ctx.Kernel.kernel).Kernel.syscalls
-    ~labels:[ ("op", "fs.exists") ];
+    ~labels:[ ("op", Spec.fs_exists.Spec.op) ];
   Fs.exists (fs ctx) path
 
 (* {1 IPC} *)
 
 let send ctx ~to_ ?(grant = Capability.Set.empty) ?(use_caps = false) body =
-  dispatch ctx "ipc.send" @@ fun () ->
-  enter ctx "ipc.send";
+  dispatch ctx Spec.ipc_send @@ fun () ->
   charge ctx Resource.Messages 1;
   let proc = ctx.Kernel.proc in
   if
@@ -572,8 +797,7 @@ let send ctx ~to_ ?(grant = Capability.Set.empty) ?(use_caps = false) body =
             Ok ())
 
 let recv ctx =
-  dispatch ctx "ipc.recv" @@ fun () ->
-  enter ctx "ipc.recv";
+  dispatch ctx Spec.ipc_recv @@ fun () ->
   let proc = ctx.Kernel.proc in
   match Queue.take_opt proc.Proc.mailbox with
   | None -> Ok None
@@ -594,16 +818,14 @@ let recv ctx =
 
 let spawn ctx ~name ?labels ?(caps = Capability.Set.empty)
     ?(limits = Resource.default_app_limits) body =
-  dispatch ctx "proc.spawn" @@ fun () ->
-  enter ctx "proc.spawn";
+  dispatch ctx Spec.proc_spawn @@ fun () ->
   let proc = ctx.Kernel.proc in
   let labels = Option.value labels ~default:proc.Proc.labels in
   Kernel.spawn ctx.Kernel.kernel ~parent:proc ~name ~owner:proc.Proc.owner
     ~labels ~caps ~limits body
 
 let invoke_gate ctx name ~arg =
-  dispatch ctx "gate.invoke" @@ fun () ->
-  enter ctx "gate.invoke";
+  dispatch ctx Spec.gate_invoke @@ fun () ->
   let proc = ctx.Kernel.proc in
   match Kernel.invoke_gate ctx.Kernel.kernel ~caller:proc ~name ~arg with
   | Error _ as e -> e
@@ -622,23 +844,24 @@ let invoke_gate ctx name ~arg =
               Ok (Some (data, labels))))
 
 let respond ctx data =
-  dispatch ctx "proc.respond" @@ fun () ->
-  enter ctx "proc.respond";
+  dispatch ctx Spec.proc_respond @@ fun () ->
   charge ctx Resource.Memory (String.length data);
   let proc = ctx.Kernel.proc in
   proc.Proc.response <- Some (data, proc.Proc.labels);
   Ok ()
 
 let consume ctx ~cpu =
-  Kernel.preempt_point ctx.Kernel.kernel ctx.Kernel.proc;
+  (* a quota charge without a dispatched body: still a declared
+     preemption point (Spec.proc_consume.entry_preempt) *)
+  if Spec.proc_consume.Spec.entry_preempt then
+    Kernel.preempt_point ctx.Kernel.kernel ctx.Kernel.proc;
   charge ctx Resource.Cpu cpu;
   Kernel.advance_clock ctx.Kernel.kernel;
   Metrics.inc (Kernel.meters ctx.Kernel.kernel).Kernel.syscalls
-    ~labels:[ ("op", "proc.consume") ];
+    ~labels:[ ("op", Spec.proc_consume.Spec.op) ];
   Ok ()
 
 let debug_note ctx note =
-  dispatch ctx "debug.note" @@ fun () ->
-  enter ctx "debug.note";
+  dispatch ctx Spec.debug_note @@ fun () ->
   Kernel.record ctx.Kernel.kernel ~pid:(pid ctx) (Audit.App_note note);
   Ok ()

@@ -18,6 +18,7 @@ let () =
       ("apps", Test_apps.suite);
       ("workload", Test_workload.suite);
       ("analysis", Test_analysis.suite);
+      ("interfere", Test_interfere.suite);
       ("integration", Test_integration.suite);
       ("noninterference", Test_noninterference.suite);
       ("soak", Test_soak.suite);
